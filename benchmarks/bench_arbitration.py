@@ -1,0 +1,51 @@
+"""Ablation A5 — the seven arbitration filters, disabled one at a time.
+
+Paper §3.3/§3.7: seven always-active filters with per-algorithm on/off
+parameters.  The sweep disables each switchable filter on the mixed
+RT/NRT suite and reports throughput and deadline behaviour.
+"""
+
+import pytest
+
+from repro.analysis import experiment_filters
+from repro.core import build_tlm_platform
+from repro.core.platform import config_for_workload
+from repro.traffic import table1_pattern_c
+
+from dataclasses import replace
+
+from benchmarks.conftest import SCALE
+
+
+def test_filter_ablation_series():
+    """Regenerate the per-filter ablation and assert its shape."""
+    points = experiment_filters(transactions=SCALE // 2)
+    print("\narbitration-filter ablation (mixed RT/NRT suite):")
+    for point in points:
+        print(
+            f"  disabled={point.disabled:>9}: cycles={point.cycles}  "
+            f"rt-misses={point.rt_misses}  util={point.utilization:.3f}"
+        )
+    baseline = points[0]
+    assert baseline.disabled == "none"
+    assert baseline.rt_misses == 0
+    urgency_off = next(p for p in points if p.disabled == "urgency")
+    assert urgency_off.rt_misses >= baseline.rt_misses
+
+
+@pytest.mark.parametrize(
+    "disabled", ["none", "urgency", "bank", "pressure"]
+)
+def test_benchmark_filters(benchmark, disabled):
+    workload = table1_pattern_c(SCALE // 2)
+    base = config_for_workload(workload)
+    cfg = (
+        base
+        if disabled == "none"
+        else replace(base, disabled_filters=(disabled,))
+    )
+
+    def run():
+        return build_tlm_platform(workload, config=cfg).run().cycles
+
+    assert benchmark(run) > 0

@@ -1,0 +1,38 @@
+"""Ablation A4 — QoS guarantee: plain AMBA 2.0 AHB vs AHB+.
+
+Paper §2: "AMBA2.0 protocol is widely being used, but the serious
+problem is that it cannot guarantee master's QoS.  AHB+ is designed to
+address this issue."  The regenerated pair runs a low-priority real-time
+stream under NRT saturation on both architectures.
+"""
+
+from repro.analysis import experiment_qos
+from repro.core import build_plain_platform, build_tlm_platform
+from repro.traffic import saturating_workload
+
+from benchmarks.conftest import SCALE
+
+
+def test_qos_guarantee_shape():
+    """Regenerate the QoS comparison and assert the paper's motivation."""
+    plain, ahbp = experiment_qos(transactions=SCALE // 2)
+    print("\nQoS under NRT saturation (RT stream at lowest priority):")
+    for point in (plain, ahbp):
+        print(
+            f"  {point.label:>9}: misses={point.deadline_misses}/"
+            f"{point.rt_transactions}  miss-rate={point.miss_rate:.2f}  "
+            f"worst latency={point.worst_latency}"
+        )
+    assert plain.miss_rate > 0.5, "plain AHB should starve the RT stream"
+    assert ahbp.miss_rate == 0.0, "AHB+ must guarantee the QoS objective"
+    assert ahbp.worst_latency < plain.worst_latency
+
+
+def test_benchmark_plain_ahb(benchmark):
+    workload = saturating_workload(SCALE // 2)
+    assert benchmark(lambda: build_plain_platform(workload).run().cycles) > 0
+
+
+def test_benchmark_ahbplus(benchmark):
+    workload = saturating_workload(SCALE // 2)
+    assert benchmark(lambda: build_tlm_platform(workload).run().cycles) > 0

@@ -1,0 +1,51 @@
+"""Table 1 — TLM-vs-RTL accuracy over the three traffic suites.
+
+Regenerates the paper's Table 1: per-pattern cycle counts at both
+abstraction levels, signed differences and the average accuracy, and
+asserts the paper's shape: functional equivalence plus a small average
+cycle-count error (paper: < 3 % / "97 % of accuracy on average").
+"""
+
+import pytest
+
+from repro.analysis import compare_models, render_table1, run_table1
+from repro.traffic import table1_workloads
+
+from benchmarks.conftest import SCALE
+
+
+def test_table1_regeneration():
+    """The full Table 1: accuracy per suite, averaged."""
+    result = run_table1(table1_workloads(SCALE))
+    print("\n" + render_table1(result))
+    assert result.all_functional, "RTL and TLM computed different results"
+    assert result.average_error_pct <= 8.0, (
+        f"average cycle error {result.average_error_pct:.2f}% "
+        f"exceeds the acceptance bound"
+    )
+    assert min(s.total_error_pct for s in result.suites) < 2.0
+
+
+@pytest.mark.parametrize("suite_index", [0, 1, 2])
+def test_each_suite_functional(suite_index):
+    """Every suite individually matches functionally."""
+    workload = table1_workloads(max(SCALE // 2, 30))[suite_index]
+    suite = compare_models(workload)
+    assert suite.functional_match
+    assert suite.total_error_pct < 12.0
+
+
+def bench_tlm_pattern(benchmark, workload):
+    from repro.core import build_tlm_platform
+
+    def run():
+        return build_tlm_platform(workload).run().cycles
+
+    cycles = benchmark(run)
+    assert cycles > 0
+
+
+@pytest.mark.parametrize("index", [0, 1, 2])
+def test_benchmark_tlm_suites(benchmark, index):
+    """Wall-clock of the TLM on each Table 1 suite (regression watch)."""
+    bench_tlm_pattern(benchmark, table1_workloads(SCALE)[index])

@@ -1,0 +1,52 @@
+"""Ablation A2 — the AHB+ write buffer (off + depth sweep).
+
+Paper §3.3/§3.7: the write buffer posts writes that lost arbitration and
+its depth is a model parameter.  The regenerated series shows posted
+writes cutting master-observed write latency.
+"""
+
+import pytest
+
+from repro.analysis import experiment_write_buffer
+from repro.core import build_tlm_platform
+from repro.core.platform import config_for_workload
+from repro.traffic import write_heavy_workload
+
+from dataclasses import replace
+
+from benchmarks.conftest import SCALE
+
+
+def test_write_buffer_series():
+    """Regenerate the depth sweep and assert its shape."""
+    points = experiment_write_buffer(transactions=SCALE, depths=(1, 2, 4, 8))
+    print("\nwrite-buffer sweep (write-heavy workload):")
+    for point in points:
+        print(
+            f"  {point.label:>7}: cycles={point.cycles}  "
+            f"absorbed={point.absorbed}  "
+            f"mean write latency={point.mean_write_latency:.1f}"
+        )
+    off = points[0]
+    deepest = points[-1]
+    assert off.absorbed == 0
+    assert deepest.absorbed > 0
+    assert deepest.mean_write_latency < off.mean_write_latency
+    # Deeper buffers absorb at least as many writes as shallow ones.
+    absorbed = [p.absorbed for p in points[1:]]
+    assert absorbed == sorted(absorbed)
+
+
+@pytest.mark.parametrize("depth", [1, 4])
+def test_benchmark_write_buffer_depth(benchmark, depth):
+    workload = write_heavy_workload(SCALE)
+    cfg = replace(
+        config_for_workload(workload),
+        write_buffer_enabled=True,
+        write_buffer_depth=depth,
+    )
+
+    def run():
+        return build_tlm_platform(workload, config=cfg).run().cycles
+
+    assert benchmark(run) > 0

@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's tables; the pin-accurate runs are
+expensive, so heavyweight comparisons run once per benchmark round.
+"""
+
+import pytest
+
+#: Transaction count per master for benchmark workloads.  Large enough
+#: for stable shapes, small enough that the RTL reference stays fast.
+SCALE = 100
+
+
+@pytest.fixture
+def scale():
+    return SCALE

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Reproduce Table 1: validate the TLM against the pin-accurate model.
+
+Runs the three traffic-pattern suites on both abstraction levels with
+identical seeds, checks functional equivalence (final memory image,
+per-master read data) and prints the cycle-count comparison in the
+paper's Table 1 format.
+
+Run:  python examples/accuracy_validation.py  [--transactions N]
+"""
+
+import argparse
+import time
+
+from repro.analysis import render_table1, run_table1
+from repro.traffic import table1_workloads
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        default=120,
+        help="transactions per master per suite (default 120)",
+    )
+    args = parser.parse_args()
+
+    print(
+        f"running {args.transactions} transactions/master on both the "
+        f"pin-accurate RTL model and the AHB+ TLM ..."
+    )
+    started = time.perf_counter()
+    result = run_table1(table1_workloads(args.transactions))
+    elapsed = time.perf_counter() - started
+
+    print()
+    print(render_table1(result))
+    print(f"\n(total validation wall time: {elapsed:.1f} s)")
+
+    if result.average_accuracy_pct >= 95.0:
+        print("=> TLM accuracy is in the paper's reported range.")
+    else:
+        print("=> accuracy below the expected range; inspect the suites above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Bank interleaving through the AHB+ Bus Interface.
+
+Paper §2: "the arbiter gives the next transaction information to DDRC
+in advance, then, DDRC can pre-charge the next accessed memory bank ...
+As a result, the next data can be served immediately right after the
+previous data is processed."
+
+Four streaming masters each own one DDR bank and open a new row on
+every burst.  With the BI enabled, each row activation overlaps the
+previous master's data transfer; with it disabled, every activation
+serialises.
+
+Run:  python examples/bank_interleaving.py
+"""
+
+from dataclasses import replace
+
+from repro.core import build_tlm_platform
+from repro.core.platform import config_for_workload
+from repro.traffic import bank_striped_workload
+
+
+def run(bi_enabled: bool):
+    workload = bank_striped_workload(transactions=200)
+    config = replace(
+        config_for_workload(workload), bus_interface_enabled=bi_enabled
+    )
+    platform = build_tlm_platform(workload, config=config)
+    result = platform.run()
+    return platform, result
+
+
+def main() -> None:
+    platform_on, on = run(bi_enabled=True)
+    platform_off, off = run(bi_enabled=False)
+
+    print("bank-striped streaming, every burst opens a new row:\n")
+    header = f"{'':>18}{'BI on':>12}{'BI off':>12}"
+    print(header)
+    print(f"{'total cycles':>18}{on.cycles:>12}{off.cycles:>12}")
+    print(
+        f"{'utilization':>18}{on.utilization:>12.3f}{off.utilization:>12.3f}"
+    )
+    print(
+        f"{'row-hit rate':>18}"
+        f"{platform_on.ddrc.row_hit_rate():>12.2f}"
+        f"{platform_off.ddrc.row_hit_rate():>12.2f}"
+    )
+    print(
+        f"{'banks prepared':>18}"
+        f"{platform_on.ddrc.prepared_banks:>12}"
+        f"{platform_off.ddrc.prepared_banks:>12}"
+    )
+    print(
+        f"\nBus Interface throughput gain: {off.cycles / on.cycles:.3f}x "
+        f"(next-transaction info hides row opens behind data transfers)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Driving AHB+ through transaction-level ports (paper §3.1–3.2).
+
+The paper maps the signal protocol onto port methods: a master "calls
+CheckGrant() and receives 'true'", then "calls 'Read(addr, *data,
+*ctrl)' ... and receives 'OK'".  This example drives the bus exactly
+that way — the style used when hooking an instruction-set simulator or
+a hand-written stimulus to the model.
+
+Run:  python examples/ports_demo.py
+"""
+
+from repro.core import AhbPlusConfig, InteractiveAhbPlus
+from repro.ddr import DdrControllerTlm
+
+
+def main() -> None:
+    ddrc = DdrControllerTlm()
+    system = InteractiveAhbPlus(ddrc, AhbPlusConfig(num_masters=2))
+    cpu = system.port(0)
+    dma = system.port(1)
+
+    # The paper's CheckGrant(): an idle bus grants immediately.
+    print(f"cycle {system.now:>5}: CheckGrant(cpu) -> {cpu.check_grant()}")
+
+    # Posted write: returns POSTED with zero bus cycles consumed.
+    status = cpu.write(0x1000, [0x11, 0x22, 0x33, 0x44])
+    print(f"cycle {system.now:>5}: cpu.write(0x1000, 4 beats) -> {status.value}")
+
+    # A DMA burst lands elsewhere while the write sits in the buffer.
+    status = dma.write(0x8000, list(range(16)), posted=False)
+    print(f"cycle {system.now:>5}: dma.write(0x8000, 16 beats) -> {status.value}")
+
+    # Reading the posted address forces the hazard interlock to drain
+    # the write buffer first — the data is fresh.
+    status, data = cpu.read(0x1000, beats=4)
+    print(
+        f"cycle {system.now:>5}: cpu.read(0x1000, 4 beats) -> {status.value}, "
+        f"data={[hex(d) for d in data]}"
+    )
+
+    # Burst read-back of the DMA block.
+    status, data = dma.read(0x8000, beats=16)
+    print(
+        f"cycle {system.now:>5}: dma.read(0x8000, 16 beats) -> {status.value}, "
+        f"sum={sum(data)}"
+    )
+
+    system.idle(50)
+    system.drain_write_buffer()
+    print(f"cycle {system.now:>5}: buffer drained, simulation idle")
+    print(
+        f"\nport stats: cpu posted={cpu.posted_writes} reads={cpu.reads}; "
+        f"dma writes={dma.writes} reads={dma.reads}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""QoS guarantee: why AHB+ exists.
+
+Paper §2: "AMBA2.0 protocol is widely being used, but the serious
+problem is that it cannot guarantee master's QoS."
+
+This example puts a real-time video stream at the *lowest* fixed
+priority behind three saturating DMA engines, and runs the same traffic
+on (a) a plain AMBA 2.0 AHB and (b) AHB+ with its QoS registers and
+urgency-filter arbitration.  Plain AHB starves the stream; AHB+ meets
+every deadline.
+
+Run:  python examples/qos_guarantee.py
+"""
+
+from repro.core import build_plain_platform, build_tlm_platform
+from repro.traffic import saturating_workload
+
+
+def deadline_report(label: str, masters, rt_index: int) -> None:
+    stream = masters[rt_index].completed
+    misses = [t for t in stream if t.met_deadline is False]
+    latencies = [t.finished_at - t.issued_at for t in stream]
+    print(f"{label}:")
+    print(f"  RT transactions : {len(stream)}")
+    print(f"  deadline misses : {len(misses)} ({len(misses)/len(stream):.0%})")
+    print(f"  worst latency   : {max(latencies)} cycles")
+    print(f"  mean latency    : {sum(latencies)/len(latencies):.1f} cycles")
+
+
+def main() -> None:
+    workload = saturating_workload(transactions=100)
+    rt_index = next(iter(workload.qos_map()))
+    objective = workload.masters[rt_index].qos.objective_cycles
+    print(
+        f"video stream (master {rt_index}, lowest priority) must finish "
+        f"each burst within {objective} cycles of its frame slot;\n"
+        f"three DMA engines saturate the bus with 16-beat bursts.\n"
+    )
+
+    plain = build_plain_platform(workload)
+    plain.run()
+    deadline_report("plain AMBA 2.0 AHB", plain.masters, rt_index)
+
+    print()
+    ahbp = build_tlm_platform(workload)
+    result = ahbp.run()
+    deadline_report("AHB+ (QoS registers + urgency filter)", ahbp.masters, rt_index)
+
+    print()
+    print(
+        f"AHB+ served the same total traffic in {result.cycles} cycles "
+        f"while guaranteeing the stream's objective."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Generic AMBA 2.0 AHB substrate.
+
+Protocol types, burst address math, the shared transaction object, the
+address decoder, master traffic agents, transaction-level slaves and the
+plain (unextended) AHB bus used as the paper's comparison baseline.
+"""
+
+from repro.ahb.arbiter import (
+    BaselineArbiter,
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    make_baseline_arbiter,
+)
+from repro.ahb.burst import (
+    KB_BOUNDARY,
+    beat_addresses,
+    check_burst_legal,
+    crosses_kb_boundary,
+    split_at_kb_boundary,
+    transaction_addresses,
+)
+from repro.ahb.bus import BusRunResult, PlainAhbBus
+from repro.ahb.decoder import AddressMap, Region, single_slave_map
+from repro.ahb.master import TlmMaster, TrafficItem
+from repro.ahb.slave import SramSlave, TlmSlave
+from repro.ahb.transaction import WRITE_BUFFER_MASTER, Transaction
+from repro.ahb.types import AccessKind, HBurst, HResp, HSize, HTrans, burst_for_beats
+
+__all__ = [
+    "AccessKind",
+    "AddressMap",
+    "BaselineArbiter",
+    "BusRunResult",
+    "FixedPriorityArbiter",
+    "HBurst",
+    "HResp",
+    "HSize",
+    "HTrans",
+    "KB_BOUNDARY",
+    "PlainAhbBus",
+    "Region",
+    "RoundRobinArbiter",
+    "SramSlave",
+    "TlmMaster",
+    "TlmSlave",
+    "TrafficItem",
+    "Transaction",
+    "WRITE_BUFFER_MASTER",
+    "beat_addresses",
+    "burst_for_beats",
+    "check_burst_legal",
+    "crosses_kb_boundary",
+    "make_baseline_arbiter",
+    "single_slave_map",
+    "split_at_kb_boundary",
+    "transaction_addresses",
+]

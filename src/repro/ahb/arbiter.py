@@ -1,0 +1,64 @@
+"""Arbitration policies for the plain AMBA 2.0 AHB baseline.
+
+The unextended AHB arbiter has no QoS notion — the paper's motivation is
+precisely that "AMBA2.0 ... cannot guarantee master's QoS".  Two classic
+policies are provided: fixed priority (lowest index wins) and simple
+round-robin.  The AHB+ filter-pipeline arbiter lives in
+:mod:`repro.core.arbiter`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+from repro.ahb.transaction import Transaction
+from repro.errors import ConfigError
+
+
+class BaselineArbiter(abc.ABC):
+    """Chooses one winner among requesting masters (baseline policies)."""
+
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def choose(self, candidates: Sequence[Transaction], now: int) -> Transaction:
+        """Pick the winning transaction; *candidates* is never empty."""
+
+
+class FixedPriorityArbiter(BaselineArbiter):
+    """Lowest master index wins — the default AMBA example arbiter."""
+
+    name = "fixed-priority"
+
+    def choose(self, candidates: Sequence[Transaction], now: int) -> Transaction:
+        return min(candidates, key=lambda txn: txn.master)
+
+
+class RoundRobinArbiter(BaselineArbiter):
+    """Rotating priority: the last winner becomes lowest priority."""
+
+    name = "round-robin"
+
+    def __init__(self, num_masters: int) -> None:
+        if num_masters < 1:
+            raise ConfigError("round-robin arbiter needs at least one master")
+        self._num = num_masters
+        self._last = num_masters - 1
+
+    def choose(self, candidates: Sequence[Transaction], now: int) -> Transaction:
+        def rotation(txn: Transaction) -> int:
+            return (txn.master - self._last - 1) % self._num
+
+        winner = min(candidates, key=rotation)
+        self._last = winner.master
+        return winner
+
+
+def make_baseline_arbiter(policy: str, num_masters: int) -> BaselineArbiter:
+    """Factory used by the plain bus config (``fixed`` or ``round_robin``)."""
+    if policy == "fixed":
+        return FixedPriorityArbiter()
+    if policy == "round_robin":
+        return RoundRobinArbiter(num_masters)
+    raise ConfigError(f"unknown baseline arbitration policy {policy!r}")

@@ -1,0 +1,167 @@
+"""Transaction-level model of a plain AMBA 2.0 AHB bus.
+
+This is the *unextended* baseline the paper motivates against: no QoS
+registers, no request pipelining, no write buffer and no Bus Interface
+to the memory controller.  Arbitration is re-evaluated only when the bus
+falls idle, costs one full cycle of dead time (HBUSREQ → HGRANT), and the
+slave receives no advance notice of the next transaction, so a DDR slave
+behind this bus cannot interleave banks.
+
+The engine is method-based: a single scheduling loop advances an integer
+cycle counter from transaction boundary to transaction boundary, which
+is what gives transaction-level models their speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.ahb.arbiter import BaselineArbiter, FixedPriorityArbiter
+from repro.ahb.decoder import AddressMap
+from repro.ahb.master import TlmMaster
+from repro.ahb.slave import TlmSlave
+from repro.ahb.transaction import Transaction
+from repro.errors import ConfigError, SimulationError
+
+#: Observer signature: ``(txn, grant_cycle, start_cycle, finish_cycle)``.
+TransactionObserver = Callable[[Transaction, int, int, int], None]
+
+
+@dataclass
+class BusRunResult:
+    """Summary of one bus run, shared by all TLM engines."""
+
+    cycles: int
+    transactions: int
+    bytes_transferred: int
+    busy_cycles: int
+    per_master_transactions: List[int] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles the data bus carried a transfer."""
+        if self.cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.cycles
+
+
+class PlainAhbBus:
+    """Cycle-counted TLM of a standard AHB bus (the paper's baseline).
+
+    Parameters
+    ----------
+    masters:
+        Traffic agents, one per master, indexed by ``TlmMaster.index``.
+    slaves:
+        Slave models, indexed by the address map's slave indices.
+    address_map:
+        The shared system memory map.
+    arbiter:
+        Baseline arbitration policy (fixed priority by default).
+    arbitration_cycles:
+        Dead cycles between bus-free and the winner's address phase
+        (plain AHB pays this every transaction; AHB+ hides it through
+        request pipelining).
+    """
+
+    def __init__(
+        self,
+        masters: Sequence[TlmMaster],
+        slaves: Sequence[TlmSlave],
+        address_map: AddressMap,
+        arbiter: Optional[BaselineArbiter] = None,
+        arbitration_cycles: int = 1,
+    ) -> None:
+        if not masters:
+            raise ConfigError("bus needs at least one master")
+        if not slaves:
+            raise ConfigError("bus needs at least one slave")
+        if arbitration_cycles < 0:
+            raise ConfigError("arbitration latency cannot be negative")
+        self.masters = list(masters)
+        self.slaves = list(slaves)
+        self.address_map = address_map
+        self.arbiter = arbiter if arbiter is not None else FixedPriorityArbiter()
+        self.arbitration_cycles = arbitration_cycles
+        self._observers: List[TransactionObserver] = []
+        self._now = 0
+        self._busy_cycles = 0
+        self._transactions = 0
+        self._bytes = 0
+
+    # -- instrumentation --------------------------------------------------------
+
+    def add_observer(self, observer: TransactionObserver) -> None:
+        """Register a per-transaction callback (profiling, assertions)."""
+        self._observers.append(observer)
+
+    @property
+    def now(self) -> int:
+        """Current bus cycle."""
+        return self._now
+
+    # -- engine -------------------------------------------------------------------
+
+    def _collect_candidates(self) -> List[Transaction]:
+        return [
+            txn
+            for master in self.masters
+            if (txn := master.pending(self._now)) is not None
+        ]
+
+    def _advance_to_next_request(self) -> bool:
+        """Jump time to the next master request; False when all are done."""
+        upcoming = [
+            cycle
+            for master in self.masters
+            if (cycle := master.earliest_request()) is not None
+        ]
+        if not upcoming:
+            return False
+        target = min(upcoming)
+        if target < self._now:
+            raise SimulationError(
+                f"next request at {target} lies before current cycle {self._now}"
+            )
+        self._now = max(self._now, target)
+        return True
+
+    def _serve(self, txn: Transaction) -> None:
+        grant = self._now + self.arbitration_cycles
+        txn.granted_at = grant
+        slave = self.slaves[self.address_map.slave_for(txn.addr)]
+        slave.idle_until(grant)
+        start = slave.access_permitted_at(txn, grant)
+        finish = slave.serve(txn, start)
+        owner = self.masters[txn.master]
+        owner.complete(txn, finish)
+        self._transactions += 1
+        self._bytes += txn.total_bytes
+        self._busy_cycles += finish - start + 1
+        for observer in self._observers:
+            observer(txn, grant, start, finish)
+        # Plain AHB: the bus is free again the cycle after the last beat.
+        self._now = finish + 1
+
+    def run(self, max_cycles: Optional[int] = None) -> BusRunResult:
+        """Run until all masters are done (or *max_cycles* is reached)."""
+        while True:
+            if max_cycles is not None and self._now >= max_cycles:
+                break
+            candidates = self._collect_candidates()
+            if not candidates:
+                if not self._advance_to_next_request():
+                    break
+                continue
+            winner = self.arbiter.choose(candidates, self._now)
+            self._serve(winner)
+        return BusRunResult(
+            cycles=self._now,
+            transactions=self._transactions,
+            bytes_transferred=self._bytes,
+            busy_cycles=self._busy_cycles,
+            per_master_transactions=[
+                master.transactions_completed for master in self.masters
+            ],
+        )

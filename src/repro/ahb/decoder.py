@@ -1,0 +1,92 @@
+"""Address decoding for the bus models.
+
+The decoder owns the system memory map: named, non-overlapping regions
+that each route to one slave index.  Both bus models and the RTL
+decoder share one :class:`AddressMap` instance so routing can never
+diverge between abstraction levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ConfigError, MemoryError_
+
+
+@dataclass(frozen=True)
+class Region:
+    """One slave's address window."""
+
+    name: str
+    base: int
+    size: int
+    slave_index: int
+
+    def __post_init__(self) -> None:
+        if self.base < 0 or self.size <= 0:
+            raise ConfigError(f"region {self.name}: bad base/size")
+
+    @property
+    def end(self) -> int:
+        """First address *after* the region."""
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        return self.base < other.end and other.base < self.end
+
+
+class AddressMap:
+    """Ordered, overlap-checked collection of :class:`Region` entries."""
+
+    def __init__(self) -> None:
+        self._regions: List[Region] = []
+
+    def add(self, name: str, base: int, size: int, slave_index: int) -> Region:
+        """Register a region; overlapping an existing region is an error."""
+        region = Region(name=name, base=base, size=size, slave_index=slave_index)
+        for existing in self._regions:
+            if existing.overlaps(region):
+                raise ConfigError(
+                    f"region {name} [{base:#x},{region.end:#x}) overlaps "
+                    f"{existing.name}"
+                )
+        self._regions.append(region)
+        return region
+
+    @property
+    def regions(self) -> List[Region]:
+        return list(self._regions)
+
+    def decode(self, addr: int) -> Region:
+        """Region containing *addr*; raises on unmapped addresses."""
+        region = self.try_decode(addr)
+        if region is None:
+            raise MemoryError_(f"address {addr:#x} hits no mapped region")
+        return region
+
+    def try_decode(self, addr: int) -> Optional[Region]:
+        """Region containing *addr*, or ``None`` if unmapped."""
+        for region in self._regions:
+            if region.contains(addr):
+                return region
+        return None
+
+    def slave_for(self, addr: int) -> int:
+        """Slave index serving *addr* (the HSEL the RTL decoder asserts)."""
+        return self.decode(addr).slave_index
+
+    def span(self) -> int:
+        """Total mapped bytes."""
+        return sum(region.size for region in self._regions)
+
+
+def single_slave_map(size: int = 1 << 26, name: str = "ddr") -> AddressMap:
+    """Convenience map with one region at address zero (the common setup:
+    AHB+ with the DDR controller as the single high-bandwidth slave)."""
+    amap = AddressMap()
+    amap.add(name, 0, size, 0)
+    return amap

@@ -1,0 +1,161 @@
+"""Master-side traffic agents shared by every bus model.
+
+A :class:`TlmMaster` wraps a request source (anything iterable over
+:class:`TrafficItem`) and exposes the pending-transaction view the bus
+engines need.  The *same* agent class drives the plain AHB bus, the
+AHB+ TLM and (via the RTL master FSM) the pin-accurate model, so a
+given seed produces the identical transaction stream everywhere — the
+precondition for the paper's accuracy comparison.
+
+Timing semantics
+----------------
+Traffic is closed-loop by default: item *k*'s think time counts from
+the completion of item *k-1*.  An item may also carry an absolute
+``not_before`` cycle (used by periodic real-time sources); the issue
+cycle is then ``max(prev_finish + think, not_before)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional
+
+from repro.ahb.transaction import Transaction
+from repro.errors import TrafficError
+
+
+@dataclass
+class TrafficItem:
+    """One request produced by a traffic source.
+
+    ``deadline_offset`` is relative to the issue cycle; the agent turns
+    it into the absolute deadline the AHB+ QoS logic consumes.
+    ``absolute_deadline`` overrides it for schedule-driven real-time
+    streams (a video frame is late against the frame clock, not against
+    whenever the starved master finally got to issue its request).
+    """
+
+    txn: Transaction
+    think_cycles: int = 0
+    not_before: Optional[int] = None
+    deadline_offset: Optional[int] = None
+    absolute_deadline: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.think_cycles < 0:
+            raise TrafficError(f"negative think time {self.think_cycles}")
+        if self.deadline_offset is not None and self.deadline_offset <= 0:
+            raise TrafficError("deadline offset must be positive")
+        if self.absolute_deadline is not None and self.absolute_deadline < 0:
+            raise TrafficError("absolute deadline cannot be negative")
+
+
+class TlmMaster:
+    """Traffic agent for one bus master.
+
+    The bus engine drives the agent through three calls:
+
+    * :meth:`pending` — the transaction wanting the bus at ``now`` (or
+      ``None``),
+    * :meth:`earliest_request` — the next cycle at which the agent will
+      want the bus (lets the TLM skip idle time), and
+    * :meth:`complete` — called when the bus finished serving the
+      transaction.
+    """
+
+    def __init__(self, index: int, name: str, items: Iterable[TrafficItem]) -> None:
+        self.index = index
+        self.name = name
+        self._items: Iterator[TrafficItem] = iter(items)
+        self._exhausted = False
+        self._pending: Optional[Transaction] = None
+        self._pending_issue = 0
+        self._last_finish = 0
+        self.completed: List[Transaction] = []
+        self._fetch()
+
+    # -- internal -------------------------------------------------------------
+
+    def _fetch(self) -> None:
+        """Pull the next item from the source, fixing its issue cycle."""
+        try:
+            item = next(self._items)
+        except StopIteration:
+            self._exhausted = True
+            self._pending = None
+            return
+        txn = item.txn
+        if txn.master != self.index:
+            raise TrafficError(
+                f"source for master {self.index} produced a transaction "
+                f"for master {txn.master}"
+            )
+        issue = self._last_finish + item.think_cycles
+        if item.not_before is not None:
+            issue = max(issue, item.not_before)
+        txn.issued_at = issue
+        if item.absolute_deadline is not None:
+            txn.deadline = item.absolute_deadline
+        elif item.deadline_offset is not None:
+            txn.deadline = issue + item.deadline_offset
+        self._pending = txn
+        self._pending_issue = issue
+
+    # -- bus-facing API ---------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        """True when the source is exhausted and nothing is pending."""
+        return self._exhausted and self._pending is None
+
+    def pending(self, now: int) -> Optional[Transaction]:
+        """The transaction requesting the bus at cycle *now*, if any."""
+        if self._pending is not None and self._pending_issue <= now:
+            return self._pending
+        return None
+
+    def earliest_request(self) -> Optional[int]:
+        """Cycle of the next request, or ``None`` when the agent is done."""
+        if self._pending is None:
+            return None
+        return self._pending_issue
+
+    def complete(self, txn: Transaction, finish_cycle: int) -> None:
+        """Record completion of the currently pending transaction."""
+        if txn is not self._pending:
+            raise TrafficError(
+                f"master {self.index} completed a transaction it did not issue"
+            )
+        txn.finished_at = finish_cycle
+        self._last_finish = finish_cycle
+        self.completed.append(txn)
+        self._fetch()
+
+    def absorb(self, txn: Transaction, absorb_cycle: int) -> None:
+        """The write buffer accepted this write; the master moves on.
+
+        From the master's perspective the transaction is complete (posted
+        write); the buffer will replay it on the bus later.
+        """
+        if txn is not self._pending:
+            raise TrafficError(
+                f"master {self.index} had a transaction absorbed it did not issue"
+            )
+        txn.finished_at = absorb_cycle
+        txn.via_write_buffer = True
+        self._last_finish = absorb_cycle
+        self.completed.append(txn)
+        self._fetch()
+
+    # -- reporting ---------------------------------------------------------------
+
+    @property
+    def transactions_completed(self) -> int:
+        return len(self.completed)
+
+    @property
+    def bytes_completed(self) -> int:
+        return sum(txn.total_bytes for txn in self.completed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TlmMaster({self.index}, {self.name!r}, done={self.done})"

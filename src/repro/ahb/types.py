@@ -1,0 +1,118 @@
+"""AMBA 2.0 AHB protocol types.
+
+Enumerations follow the AMBA Specification Rev 2.0 encodings exactly —
+the RTL model drives these values onto multi-bit signals and the
+assertion layer checks them, so the numeric values matter.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ProtocolError
+
+
+class HTrans(enum.IntEnum):
+    """HTRANS[1:0] transfer type."""
+
+    IDLE = 0b00
+    BUSY = 0b01
+    NONSEQ = 0b10
+    SEQ = 0b11
+
+
+class HBurst(enum.IntEnum):
+    """HBURST[2:0] burst type."""
+
+    SINGLE = 0b000
+    INCR = 0b001
+    WRAP4 = 0b010
+    INCR4 = 0b011
+    WRAP8 = 0b100
+    INCR8 = 0b101
+    WRAP16 = 0b110
+    INCR16 = 0b111
+
+    @property
+    def beats(self) -> int:
+        """Fixed beat count of the burst (INCR is unbounded; reported as 1)."""
+        return _BURST_BEATS[self]
+
+    @property
+    def is_wrapping(self) -> bool:
+        """True for the WRAPx burst types."""
+        return self in (HBurst.WRAP4, HBurst.WRAP8, HBurst.WRAP16)
+
+
+_BURST_BEATS = {
+    HBurst.SINGLE: 1,
+    HBurst.INCR: 1,
+    HBurst.WRAP4: 4,
+    HBurst.INCR4: 4,
+    HBurst.WRAP8: 8,
+    HBurst.INCR8: 8,
+    HBurst.WRAP16: 16,
+    HBurst.INCR16: 16,
+}
+
+
+def burst_for_beats(beats: int, wrapping: bool = False) -> HBurst:
+    """Pick the AHB burst encoding for a beat count.
+
+    Beat counts without a fixed encoding (e.g. 3, 5) map to ``INCR``;
+    requesting a wrapping burst for such counts is a protocol error.
+    """
+    fixed = {1: HBurst.SINGLE, 4: HBurst.INCR4, 8: HBurst.INCR8, 16: HBurst.INCR16}
+    wrap = {4: HBurst.WRAP4, 8: HBurst.WRAP8, 16: HBurst.WRAP16}
+    if beats < 1:
+        raise ProtocolError(f"burst must have at least one beat, got {beats}")
+    if wrapping:
+        if beats not in wrap:
+            raise ProtocolError(f"no wrapping burst encoding for {beats} beats")
+        return wrap[beats]
+    return fixed.get(beats, HBurst.INCR)
+
+
+class HSize(enum.IntEnum):
+    """HSIZE[2:0] transfer size (bytes per beat = 2**HSIZE)."""
+
+    BYTE = 0b000
+    HALFWORD = 0b001
+    WORD = 0b010
+    DWORD = 0b011
+    WORD4 = 0b100
+    WORD8 = 0b101
+    WORD16 = 0b110
+    WORD32 = 0b111
+
+    @property
+    def bytes(self) -> int:
+        """Bytes transferred per beat."""
+        return 1 << int(self)
+
+    @classmethod
+    def for_bytes(cls, nbytes: int) -> "HSize":
+        """HSIZE encoding for a beat of *nbytes* (must be a power of two)."""
+        if nbytes <= 0 or nbytes & (nbytes - 1):
+            raise ProtocolError(f"beat size must be a power of two, got {nbytes}")
+        return cls(nbytes.bit_length() - 1)
+
+
+class HResp(enum.IntEnum):
+    """HRESP[1:0] slave response."""
+
+    OKAY = 0b00
+    ERROR = 0b01
+    RETRY = 0b10
+    SPLIT = 0b11
+
+
+class AccessKind(enum.Enum):
+    """Direction of a transfer, at transaction level."""
+
+    READ = "read"
+    WRITE = "write"
+
+    @property
+    def is_write(self) -> bool:
+        return self is AccessKind.WRITE

@@ -1,0 +1,228 @@
+"""Shared experiment drivers.
+
+Each function regenerates one row of the DESIGN.md experiment index.
+Benchmarks call these under ``pytest-benchmark``; the examples and
+EXPERIMENTS.md generation call them directly.  Everything is
+deterministic given the workload seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.accuracy import Table1Result, run_table1
+from repro.analysis.speed import SpeedReport, speed_comparison
+from repro.core.bus import AhbPlusRunResult
+from repro.core.config import SWITCHABLE_FILTERS, AhbPlusConfig
+from repro.core.platform import (
+    build_plain_platform,
+    build_tlm_platform,
+    config_for_workload,
+)
+from repro.traffic.workloads import (
+    Workload,
+    bank_striped_workload,
+    saturating_workload,
+    single_master_workload,
+    table1_workloads,
+    write_heavy_workload,
+)
+
+
+def experiment_table1(transactions: int = 150) -> Table1Result:
+    """Table 1: TLM accuracy vs RTL over the three traffic suites."""
+    return run_table1(table1_workloads(transactions))
+
+
+def experiment_speed(
+    transactions: int = 150, include_thread: bool = True
+) -> SpeedReport:
+    """§4 speed: RTL vs TLM Kcycles/s, plus the single-master case."""
+    return speed_comparison(
+        multi_master=table1_workloads(transactions)[0],
+        single_master=single_master_workload(transactions * 2),
+        include_thread=include_thread,
+    )
+
+
+# -- ablation A2: write buffer --------------------------------------------------
+
+
+@dataclass
+class WriteBufferPoint:
+    """One write-buffer configuration's outcome."""
+
+    label: str
+    depth: int
+    cycles: int
+    absorbed: int
+    mean_write_latency: float
+
+
+def experiment_write_buffer(
+    transactions: int = 200, depths: Tuple[int, ...] = (1, 2, 4, 8)
+) -> List[WriteBufferPoint]:
+    """Write-buffer off + depth sweep on a write-heavy workload."""
+    workload = write_heavy_workload(transactions)
+    points: List[WriteBufferPoint] = []
+
+    def run(cfg: AhbPlusConfig, label: str, depth: int) -> None:
+        platform = build_tlm_platform(workload, config=cfg)
+        result = platform.run()
+        writes = [
+            txn
+            for master in platform.masters
+            for txn in master.completed
+            if txn.is_write
+        ]
+        mean_latency = (
+            sum(txn.finished_at - txn.issued_at for txn in writes) / len(writes)
+            if writes
+            else 0.0
+        )
+        points.append(
+            WriteBufferPoint(
+                label=label,
+                depth=depth,
+                cycles=result.cycles,
+                absorbed=result.absorbed_writes,
+                mean_write_latency=mean_latency,
+            )
+        )
+
+    base = config_for_workload(workload)
+    run(replace(base, write_buffer_enabled=False), "off", 0)
+    for depth in depths:
+        run(
+            replace(base, write_buffer_enabled=True, write_buffer_depth=depth),
+            f"depth{depth}",
+            depth,
+        )
+    return points
+
+
+# -- ablation A3: bank interleaving via the BI --------------------------------------
+
+
+@dataclass
+class InterleavingPoint:
+    """BI on/off outcome on the bank-striped workload."""
+
+    label: str
+    cycles: int
+    utilization: float
+    prepared_banks: int
+    row_hit_rate: float
+
+
+def experiment_bank_interleaving(transactions: int = 200) -> List[InterleavingPoint]:
+    """BI on vs off: throughput and DDR utilization on striped traffic."""
+    workload = bank_striped_workload(transactions)
+    points = []
+    for enabled in (True, False):
+        cfg = replace(
+            config_for_workload(workload), bus_interface_enabled=enabled
+        )
+        platform = build_tlm_platform(workload, config=cfg)
+        result = platform.run()
+        points.append(
+            InterleavingPoint(
+                label="bi-on" if enabled else "bi-off",
+                cycles=result.cycles,
+                utilization=result.utilization,
+                prepared_banks=platform.ddrc.prepared_banks,
+                row_hit_rate=platform.ddrc.row_hit_rate(),
+            )
+        )
+    return points
+
+
+# -- ablation A4: QoS guarantee (plain AHB vs AHB+) -----------------------------------
+
+
+@dataclass
+class QosPoint:
+    """Deadline performance of one bus architecture."""
+
+    label: str
+    cycles: int
+    rt_transactions: int
+    deadline_misses: int
+    worst_latency: int
+
+    @property
+    def miss_rate(self) -> float:
+        if self.rt_transactions == 0:
+            return 0.0
+        return self.deadline_misses / self.rt_transactions
+
+
+def _deadline_stats(masters, rt_index: int) -> Tuple[int, int, int]:
+    rt_txns = masters[rt_index].completed
+    misses = sum(1 for txn in rt_txns if txn.met_deadline is False)
+    worst = max((txn.finished_at - txn.issued_at) for txn in rt_txns)
+    return len(rt_txns), misses, worst
+
+
+def experiment_qos(transactions: int = 150) -> List[QosPoint]:
+    """Paper motivation: AMBA2.0 cannot guarantee QoS; AHB+ can."""
+    workload = saturating_workload(transactions)
+    rt_index = next(iter(workload.qos_map()))
+    points = []
+
+    plain = build_plain_platform(workload)
+    plain_result = plain.run()
+    count, misses, worst = _deadline_stats(plain.masters, rt_index)
+    points.append(
+        QosPoint("plain-ahb", plain_result.cycles, count, misses, worst)
+    )
+
+    ahbp = build_tlm_platform(workload)
+    ahbp_result = ahbp.run()
+    count, misses, worst = _deadline_stats(ahbp.masters, rt_index)
+    points.append(QosPoint("ahb+", ahbp_result.cycles, count, misses, worst))
+    return points
+
+
+# -- ablation A5: arbitration filters ----------------------------------------------------
+
+
+@dataclass
+class FilterPoint:
+    """Outcome with one filter disabled."""
+
+    disabled: str
+    cycles: int
+    rt_misses: int
+    utilization: float
+
+
+def experiment_filters(transactions: int = 120) -> List[FilterPoint]:
+    """Disable each switchable filter in turn under RT saturation.
+
+    The saturating workload (RT stream at lowest priority, three greedy
+    DMA movers) is where arbitration decisions matter: disabling the
+    urgency or real-time filters costs stream deadlines.
+    """
+    workload = saturating_workload(transactions // 2)
+    points = []
+    base = config_for_workload(workload)
+    cases: List[Tuple[str, Tuple[str, ...]]] = [("none", ())]
+    cases.extend((name, (name,)) for name in SWITCHABLE_FILTERS)
+    # The urgency and real-time filters back each other up; disabling
+    # both removes the QoS guarantee entirely.
+    cases.append(("urgency+real-time", ("urgency", "real-time")))
+    for label, disabled in cases:
+        cfg = base if not disabled else replace(base, disabled_filters=disabled)
+        platform = build_tlm_platform(workload, config=cfg)
+        result = platform.run()
+        points.append(
+            FilterPoint(
+                disabled=label,
+                cycles=result.cycles,
+                rt_misses=result.rt_deadline_misses,
+                utilization=result.utilization,
+            )
+        )
+    return points

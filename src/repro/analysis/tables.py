@@ -1,0 +1,71 @@
+"""Render experiment results in the paper's reporting format."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.accuracy import Table1Result, WorkloadAccuracy
+from repro.analysis.speed import SpeedReport
+from repro.profiling.report import format_table
+
+
+def render_table1(result: Table1Result) -> str:
+    """Table 1: per-pattern, per-master cycle counts and accuracy."""
+    headers = ["pattern", "master", "RTL cycles", "TL cycles", "diff", "err %"]
+    rows: List[List[str]] = []
+    for suite in result.suites:
+        for row in suite.rows:
+            rows.append(
+                [
+                    suite.workload,
+                    row.name,
+                    str(row.rtl_cycles),
+                    str(row.tlm_cycles),
+                    f"{row.difference:+d}",
+                    f"{row.error_pct:.2f}",
+                ]
+            )
+        rows.append(
+            [
+                suite.workload,
+                "TOTAL",
+                str(suite.rtl_total),
+                str(suite.tlm_total),
+                f"{suite.tlm_total - suite.rtl_total:+d}",
+                f"{suite.total_error_pct:.2f}",
+            ]
+        )
+    body = format_table(headers, rows)
+    footer = (
+        f"\naverage error (suite totals) : {result.average_error_pct:.2f} %"
+        f"\naverage accuracy             : {result.average_accuracy_pct:.2f} % "
+        f"(paper: 97 % / avg diff < 3 %)"
+        f"\nper-master row error (mean)  : {result.row_average_error_pct:.2f} %"
+        f"\nfunctional match             : {'yes' if result.all_functional else 'NO'}"
+    )
+    return body + footer
+
+
+def render_speed(report: SpeedReport) -> str:
+    """The §4 speed table: Kcycles/s per model and the speedup factor."""
+    headers = ["model", "cycles", "wall s", "Kcycles/s"]
+    samples = [report.rtl, report.tlm_method]
+    if report.tlm_thread is not None:
+        samples.append(report.tlm_thread)
+    if report.tlm_single_master is not None:
+        samples.append(report.tlm_single_master)
+    rows = [
+        [
+            sample.model,
+            str(sample.simulated_cycles),
+            f"{sample.wall_seconds:.3f}",
+            f"{sample.kcycles_per_sec:.1f}",
+        ]
+        for sample in samples
+    ]
+    body = format_table(headers, rows)
+    footer = f"\nTLM/RTL speedup: {report.speedup:.0f}x  (paper: 353x)"
+    ratio = report.method_over_thread
+    if ratio is not None:
+        footer += f"\nmethod-based over thread-based: {ratio:.2f}x"
+    return body + footer

@@ -1,0 +1,20 @@
+"""Assertions: protocol checkers and system-property checkers."""
+
+from repro.assertions.base import Checker, PropertyChecker, Violation
+from repro.assertions.properties import (
+    BankFsmChecker,
+    OrderingChecker,
+    QosPropertyChecker,
+)
+from repro.assertions.protocol import RtlProtocolChecker, TransactionChecker
+
+__all__ = [
+    "BankFsmChecker",
+    "Checker",
+    "OrderingChecker",
+    "PropertyChecker",
+    "QosPropertyChecker",
+    "RtlProtocolChecker",
+    "TransactionChecker",
+    "Violation",
+]

@@ -1,0 +1,67 @@
+"""Assertion infrastructure.
+
+Paper §3.5 inserts two kinds of assertions into the models: checks for
+*functional debugging of the model itself* and *property checking* used
+during performance analysis.  Checkers here follow that split:
+:mod:`repro.assertions.protocol` watches bus-protocol legality, and
+:mod:`repro.assertions.properties` watches system-level properties
+(QoS, ordering, bank-FSM legality).
+
+A checker collects :class:`Violation` records; ``strict=True`` raises
+on the first violation instead, which is how the test suite uses them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import PropertyViolation, ProtocolError
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One recorded assertion failure."""
+
+    cycle: int
+    rule: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[cycle {self.cycle}] {self.rule}: {self.detail}"
+
+
+class Checker:
+    """Base class: accumulate or raise on violations."""
+
+    #: Error type raised in strict mode; subclasses override.
+    error_type = ProtocolError
+
+    def __init__(self, name: str, strict: bool = False) -> None:
+        self.name = name
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self.checks_run = 0
+
+    def flag(self, cycle: int, rule: str, detail: str) -> None:
+        """Record (or raise) a violation."""
+        violation = Violation(cycle=cycle, rule=rule, detail=detail)
+        if self.strict:
+            raise self.error_type(f"{self.name}: {violation}")
+        self.violations.append(violation)
+
+    @property
+    def clean(self) -> bool:
+        """True when no violation has been recorded."""
+        return not self.violations
+
+    def summary(self) -> str:
+        """Human-readable status line."""
+        status = "clean" if self.clean else f"{len(self.violations)} violations"
+        return f"{self.name}: {self.checks_run} checks, {status}"
+
+
+class PropertyChecker(Checker):
+    """Checker whose strict mode raises :class:`PropertyViolation`."""
+
+    error_type = PropertyViolation

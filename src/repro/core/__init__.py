@@ -1,0 +1,85 @@
+"""The AHB+ transaction-level model — the paper's core contribution.
+
+Public surface:
+
+* :class:`AhbPlusConfig` — every §3.7 parameter in one place.
+* :class:`AhbPlusBusTlm` / :class:`ThreadedAhbPlusBus` — method-based
+  and thread-based engines with identical bus semantics.
+* :class:`AhbPlusArbiter` + the seven arbitration filters.
+* :class:`QosRegisterFile` — the AHB+ QoS registers.
+* :class:`WriteBuffer` — posted-write buffer (an extra bus master).
+* :class:`BusInterface` — the arbiter↔DDRC side channel (BI).
+* :class:`TransactionPort` / :class:`InteractiveAhbPlus` — the paper's
+  CheckGrant()/Read()/Write() port API.
+* :func:`build_tlm_platform` / :func:`build_plain_platform` — one-call
+  system assembly.
+"""
+
+from repro.core.arbiter import AhbPlusArbiter
+from repro.core.bus import AhbPlusBusTlm, AhbPlusRunResult
+from repro.core.bus_interface import BusInterface
+from repro.core.config import SWITCHABLE_FILTERS, AhbPlusConfig
+from repro.core.filters import (
+    ArbitrationContext,
+    ArbitrationFilter,
+    BankFilter,
+    Candidate,
+    FILTER_NAMES,
+    HazardFilter,
+    PressureFilter,
+    RealTimeFilter,
+    RequestFilter,
+    TieBreakFilter,
+    UrgencyFilter,
+    default_filter_chain,
+)
+from repro.core.platform import (
+    PlainPlatform,
+    TlmPlatform,
+    build_plain_platform,
+    build_tlm_platform,
+    config_for_workload,
+)
+from repro.core.ports import InteractiveAhbPlus, PortStatus, TransactionPort
+from repro.core.qos import QosRegisterFile, QosSetting, decode_setting, encode_setting
+from repro.core.threaded import ThreadedAhbPlusBus
+from repro.core.transaction import WRITE_BUFFER_MASTER, AccessKind, Transaction
+from repro.core.write_buffer import WriteBuffer
+
+__all__ = [
+    "AccessKind",
+    "AhbPlusArbiter",
+    "AhbPlusBusTlm",
+    "AhbPlusConfig",
+    "AhbPlusRunResult",
+    "ArbitrationContext",
+    "ArbitrationFilter",
+    "BankFilter",
+    "BusInterface",
+    "Candidate",
+    "FILTER_NAMES",
+    "HazardFilter",
+    "InteractiveAhbPlus",
+    "PlainPlatform",
+    "PortStatus",
+    "PressureFilter",
+    "QosRegisterFile",
+    "QosSetting",
+    "RealTimeFilter",
+    "RequestFilter",
+    "SWITCHABLE_FILTERS",
+    "ThreadedAhbPlusBus",
+    "TieBreakFilter",
+    "TlmPlatform",
+    "TransactionPort",
+    "Transaction",
+    "UrgencyFilter",
+    "WRITE_BUFFER_MASTER",
+    "WriteBuffer",
+    "build_plain_platform",
+    "build_tlm_platform",
+    "config_for_workload",
+    "decode_setting",
+    "default_filter_chain",
+    "encode_setting",
+]

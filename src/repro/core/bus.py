@@ -1,0 +1,322 @@
+"""Method-based transaction-level model of the AHB+ main bus.
+
+This is the model the paper builds and evaluates: a callback-driven
+engine (no threads — paper §4 credits method-based modeling for much of
+the simulation speed) that advances an integer cycle counter from
+transaction boundary to transaction boundary.
+
+Per arbitration round the engine:
+
+1. collects live candidates — pending master transactions plus the
+   write buffer's head when occupied ("the write buffer behaves as
+   another master", §3.3);
+2. runs the seven-filter arbiter to pick the winner;
+3. lets the write buffer absorb the *losing* writes ("stores the
+   information of write transactions when a master cannot get a bus
+   grant at the right time", §3.3), freeing those masters immediately;
+4. serves the winner through the Bus Interface (refresh permission,
+   then the DDRC's analytic bank timing); and
+5. while the transfer drains, makes the *pipelined* decision for the
+   next winner and forwards it over the BI so the DDRC can open the
+   next bank early (request pipelining + bank interleaving, §2) — the
+   next address phase then overlaps the current last data beat.
+
+Everything observable (grants, per-filter narrowing, BI messages,
+buffer occupancy, QoS misses) is counted, feeding the profiling layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ahb.bus import BusRunResult, TransactionObserver
+from repro.ahb.decoder import AddressMap, single_slave_map
+from repro.ahb.master import TlmMaster
+from repro.ahb.slave import TlmSlave
+from repro.ahb.transaction import Transaction
+from repro.core.arbiter import AhbPlusArbiter
+from repro.core.bus_interface import BusInterface
+from repro.core.config import AhbPlusConfig
+from repro.core.filters import ArbitrationContext, Candidate
+from repro.core.qos import QosRegisterFile
+from repro.core.write_buffer import WriteBuffer
+from repro.errors import ConfigError, SimulationError
+
+
+@dataclass
+class AhbPlusRunResult(BusRunResult):
+    """Run summary with the AHB+-specific counters added."""
+
+    absorbed_writes: int = 0
+    drained_writes: int = 0
+    max_buffer_occupancy: int = 0
+    rt_deadline_hits: int = 0
+    rt_deadline_misses: int = 0
+    pipelined_grants: int = 0
+    bi_next_info: int = 0
+    filter_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def rt_miss_rate(self) -> float:
+        total = self.rt_deadline_hits + self.rt_deadline_misses
+        if total == 0:
+            return 0.0
+        return self.rt_deadline_misses / total
+
+
+class AhbPlusBusTlm:
+    """The AHB+ main bus, memory controller attached over the BI."""
+
+    def __init__(
+        self,
+        masters: Sequence[TlmMaster],
+        slaves: Sequence[TlmSlave],
+        config: Optional[AhbPlusConfig] = None,
+        address_map: Optional[AddressMap] = None,
+        qos: Optional[QosRegisterFile] = None,
+    ) -> None:
+        if not masters:
+            raise ConfigError("bus needs at least one master")
+        if not slaves:
+            raise ConfigError("bus needs at least one slave")
+        self.config = config if config is not None else AhbPlusConfig(
+            num_masters=len(masters)
+        )
+        self.masters = list(masters)
+        self.slaves = list(slaves)
+        self.address_map = (
+            address_map if address_map is not None else single_slave_map()
+        )
+        self.qos = qos if qos is not None else self._default_qos()
+        self.write_buffer = WriteBuffer(
+            depth=self.config.write_buffer_depth,
+            enabled=self.config.write_buffer_enabled,
+        )
+        self.arbiter = AhbPlusArbiter(
+            tie_break=self.config.tie_break,
+            num_masters=self.config.num_masters,
+        )
+        for name in self.config.disabled_filters:
+            self.arbiter.set_filter_enabled(name, False)
+        self.bus_interfaces = [
+            BusInterface(slave, enabled=self.config.bus_interface_enabled)
+            for slave in self.slaves
+        ]
+        self._observers: List[TransactionObserver] = []
+        self._now = 0
+        self._busy_cycles = 0
+        self._busy_through = -1
+        self._transactions = 0
+        self._bytes = 0
+        self._pipelined: Optional[Tuple[Candidate, int]] = None
+        self._pipelined_grants = 0
+
+    def _default_qos(self) -> QosRegisterFile:
+        qos = QosRegisterFile(self.config.num_masters)
+        for master, setting in self.config.qos.items():
+            qos.configure(master, setting)
+        return qos
+
+    # -- instrumentation ---------------------------------------------------------
+
+    def add_observer(self, observer: TransactionObserver) -> None:
+        """Register a ``(txn, grant, start, finish)`` callback."""
+        self._observers.append(observer)
+
+    @property
+    def now(self) -> int:
+        return self._now
+
+    # -- candidate handling ---------------------------------------------------------
+
+    def _collect(
+        self, now: int, exclude: Optional[Transaction] = None
+    ) -> List[Candidate]:
+        candidates: List[Candidate] = []
+        for master in self.masters:
+            txn = master.pending(now)
+            if txn is None or txn is exclude:
+                continue
+            candidates.append(
+                Candidate(
+                    txn=txn,
+                    from_write_buffer=False,
+                    real_time=self.qos.is_real_time(master.index),
+                    deadline=self.qos.deadline_for(txn),
+                )
+            )
+        head = self.write_buffer.head()
+        if head is not None:
+            candidates.append(Candidate(txn=head, from_write_buffer=True))
+        return candidates
+
+    def _route(self, txn: Transaction) -> Tuple[TlmSlave, BusInterface]:
+        index = self.address_map.slave_for(txn.addr)
+        return self.slaves[index], self.bus_interfaces[index]
+
+    def _make_ctx(self, now: int, candidates: Sequence[Candidate]) -> ArbitrationContext:
+        hazard = any(
+            not cand.from_write_buffer
+            and not cand.txn.is_write
+            and self.write_buffer.conflicts_with(cand.txn)
+            for cand in candidates
+        )
+        # The bank filter consults the controller behind the first
+        # candidate's region; platforms in this library put the DDRC
+        # behind one region, so any candidate resolves identically.
+        _slave, bi = self._route(candidates[0].txn)
+        return ArbitrationContext(
+            now=now,
+            write_buffer_occupancy=self.write_buffer.occupancy,
+            write_buffer_depth=(
+                self.write_buffer.depth if self.write_buffer.enabled else 0
+            ),
+            read_hazard=hazard,
+            access_score=bi.access_score_fn(now),
+            urgency_margin=self.config.urgency_margin,
+            starvation_limit=self.config.starvation_limit,
+        )
+
+    def _absorb_losers(
+        self, candidates: Sequence[Candidate], winner: Candidate, cycle: int
+    ) -> None:
+        """Post losing writes into the buffer, freeing their masters."""
+        for cand in candidates:
+            if cand is winner or cand.from_write_buffer:
+                continue
+            txn = cand.txn
+            if self.write_buffer.can_absorb(txn):
+                self.write_buffer.absorb(txn, cycle)
+                self.masters[txn.master].absorb(txn, cycle)
+                self.qos.record_completion(txn)
+
+    # -- serving ----------------------------------------------------------------------
+
+    def _serve(self, cand: Candidate, grant_cycle: int) -> None:
+        txn = cand.txn
+        txn.granted_at = grant_cycle
+        if cand.from_write_buffer:
+            # The head leaves the FIFO as its transfer starts, so the
+            # pipelined decision made mid-transfer sees the next entry.
+            self.write_buffer.pop_head(txn)
+        slave, bi = self._route(txn)
+        slave.idle_until(grant_cycle)
+        start = bi.access_permitted_at(txn, grant_cycle)
+        finish = slave.serve(txn, start)
+        if finish < start:
+            raise SimulationError(
+                f"slave {slave.name} finished {finish} before start {start}"
+            )
+        # The pipelined decision samples requests that existed *before*
+        # this transfer's completion side effects, as the RTL arbiter
+        # does — so it runs before the winner's agent is advanced.
+        self._decide_pipelined(start, finish, exclude=txn)
+        if cand.from_write_buffer:
+            txn.finished_at = finish
+            if txn.origin is not None:
+                txn.origin.drained_at = finish
+        else:
+            self.masters[txn.master].complete(txn, finish)
+            self.qos.record_completion(txn)
+        self._transactions += 1
+        self._bytes += txn.total_bytes
+        # Busy accounting must not double-count the pipelined overlap
+        # cycle (next address phase atop the previous last data beat).
+        covered_from = max(start, self._busy_through + 1)
+        if finish >= covered_from:
+            self._busy_cycles += finish - covered_from + 1
+            self._busy_through = finish
+        for observer in self._observers:
+            observer(txn, grant_cycle, start, finish)
+
+    def _decide_pipelined(
+        self, start: int, finish: int, exclude: Optional[Transaction]
+    ) -> None:
+        """Lock in the next winner before the current transfer ends.
+
+        Two sampling points model the RTL arbiter's per-cycle lock
+        window: the early point at ``finish - pipeline_lead`` and, if it
+        found nobody, a late point at ``finish`` itself.
+        """
+        self._pipelined = None
+        if not self.config.request_pipelining:
+            self._now = finish + 1
+            return
+        for sample in (max(start, finish - self.config.pipeline_lead), finish):
+            candidates = self._collect(sample, exclude=exclude)
+            if not candidates:
+                continue
+            ctx = self._make_ctx(sample, candidates)
+            winner = self.arbiter.choose(candidates, ctx)
+            self._absorb_losers(candidates, winner, sample)
+            _slave, bi = self._route(winner.txn)
+            bi.send_next_info(winner.txn, sample)
+            # The pipelined address phase overlaps the final data beat,
+            # so the next transfer may begin at `finish` with no dead cycle.
+            self._pipelined = (winner, finish)
+            self._pipelined_grants += 1
+            self._now = finish
+            return
+        self._now = finish + 1
+
+    # -- run loop ------------------------------------------------------------------------
+
+    def _all_done(self) -> bool:
+        return (
+            all(master.done for master in self.masters)
+            and self.write_buffer.is_empty
+            and self._pipelined is None
+        )
+
+    def _advance_to_next_request(self) -> bool:
+        upcoming = [
+            cycle
+            for master in self.masters
+            if (cycle := master.earliest_request()) is not None
+        ]
+        if not upcoming:
+            return False
+        self._now = max(self._now, min(upcoming))
+        return True
+
+    def run(self, max_cycles: Optional[int] = None) -> AhbPlusRunResult:
+        """Run to completion of all traffic (or *max_cycles*)."""
+        while not self._all_done():
+            if max_cycles is not None and self._now >= max_cycles:
+                break
+            if self._pipelined is not None:
+                winner, grant_at = self._pipelined
+                self._pipelined = None
+                self._serve(winner, max(self._now, grant_at))
+                continue
+            candidates = self._collect(self._now)
+            if not candidates:
+                if not self._advance_to_next_request():
+                    break
+                continue
+            ctx = self._make_ctx(self._now, candidates)
+            winner = self.arbiter.choose(candidates, ctx)
+            self._absorb_losers(candidates, winner, self._now)
+            grant = self._now + self.config.arbitration_cycles
+            self._serve(winner, grant)
+        return self._result()
+
+    def _result(self) -> AhbPlusRunResult:
+        return AhbPlusRunResult(
+            cycles=self._now,
+            transactions=self._transactions,
+            bytes_transferred=self._bytes,
+            busy_cycles=self._busy_cycles,
+            per_master_transactions=[
+                master.transactions_completed for master in self.masters
+            ],
+            absorbed_writes=self.write_buffer.absorbed,
+            drained_writes=self.write_buffer.drained,
+            max_buffer_occupancy=self.write_buffer.max_occupancy,
+            rt_deadline_hits=self.qos.deadline_hits,
+            rt_deadline_misses=self.qos.deadline_misses,
+            pipelined_grants=self._pipelined_grants,
+            bi_next_info=sum(bi.next_info_sent for bi in self.bus_interfaces),
+            filter_stats=self.arbiter.filter_stats(),
+        )

@@ -1,0 +1,155 @@
+"""Platform builders: assemble masters, bus and DDRC from one config.
+
+``build_tlm_platform`` produces the paper's system — AHB+ main bus with
+the DDR controller behind the Bus Interface — in either engine style
+(method-based or thread-based).  ``build_plain_platform`` produces the
+unextended AMBA 2.0 baseline on the same workload and memory subsystem,
+which is what the QoS and throughput comparisons run against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.ahb.bus import BusRunResult, PlainAhbBus
+from repro.ahb.decoder import AddressMap, single_slave_map
+from repro.ahb.master import TlmMaster
+from repro.core.bus import AhbPlusBusTlm, AhbPlusRunResult
+from repro.core.config import AhbPlusConfig
+from repro.core.threaded import ThreadedAhbPlusBus
+from repro.ddr.controller import DdrControllerTlm
+from repro.ddr.memory import MemoryModel
+from repro.errors import ConfigError
+from repro.traffic.workloads import Workload
+
+EngineBus = Union[AhbPlusBusTlm, ThreadedAhbPlusBus]
+
+
+@dataclass
+class TlmPlatform:
+    """An assembled transaction-level AHB+ system."""
+
+    workload: Workload
+    config: AhbPlusConfig
+    masters: List[TlmMaster]
+    ddrc: DdrControllerTlm
+    bus: EngineBus
+
+    @property
+    def memory(self) -> MemoryModel:
+        """The DDR backing store (for functional checks)."""
+        return self.ddrc.memory
+
+    def run(self, max_cycles: Optional[int] = None) -> AhbPlusRunResult:
+        """Run the workload to completion."""
+        return self.bus.run(max_cycles=max_cycles)
+
+
+@dataclass
+class PlainPlatform:
+    """The unextended AMBA 2.0 baseline on the same substrate."""
+
+    workload: Workload
+    masters: List[TlmMaster]
+    ddrc: DdrControllerTlm
+    bus: PlainAhbBus
+
+    @property
+    def memory(self) -> MemoryModel:
+        return self.ddrc.memory
+
+    def run(self, max_cycles: Optional[int] = None) -> BusRunResult:
+        return self.bus.run(max_cycles=max_cycles)
+
+
+def config_for_workload(
+    workload: Workload, base: Optional[AhbPlusConfig] = None
+) -> AhbPlusConfig:
+    """Derive a config matching the workload's master count and QoS map."""
+    if base is None:
+        return AhbPlusConfig(num_masters=workload.num_masters, qos=workload.qos_map())
+    if base.num_masters != workload.num_masters:
+        raise ConfigError(
+            f"config is for {base.num_masters} masters but workload "
+            f"{workload.name!r} has {workload.num_masters}"
+        )
+    merged_qos = dict(workload.qos_map())
+    merged_qos.update(base.qos)
+    return AhbPlusConfig(
+        num_masters=base.num_masters,
+        bus_width_bytes=base.bus_width_bytes,
+        write_buffer_enabled=base.write_buffer_enabled,
+        write_buffer_depth=base.write_buffer_depth,
+        request_pipelining=base.request_pipelining,
+        pipeline_lead=base.pipeline_lead,
+        bus_interface_enabled=base.bus_interface_enabled,
+        tie_break=base.tie_break,
+        disabled_filters=base.disabled_filters,
+        urgency_margin=base.urgency_margin,
+        starvation_limit=base.starvation_limit,
+        arbitration_cycles=base.arbitration_cycles,
+        qos=merged_qos,
+        ddr_timing=base.ddr_timing,
+        refresh_enabled=base.refresh_enabled,
+        memory_size=base.memory_size,
+    )
+
+
+def build_tlm_platform(
+    workload: Workload,
+    config: Optional[AhbPlusConfig] = None,
+    engine: str = "method",
+) -> TlmPlatform:
+    """Assemble the AHB+ TLM platform for *workload*.
+
+    ``engine`` selects the paper's method-based style (``"method"``) or
+    the thread-based comparison engine (``"thread"``).
+    """
+    cfg = config_for_workload(workload, config)
+    masters = workload.build_masters()
+    ddrc = DdrControllerTlm(
+        timing=cfg.ddr_timing,
+        bus_bytes=cfg.bus_width_bytes,
+        refresh_enabled=cfg.refresh_enabled,
+    )
+    address_map = single_slave_map(cfg.memory_size)
+    if engine == "method":
+        bus: EngineBus = AhbPlusBusTlm(
+            masters, [ddrc], config=cfg, address_map=address_map
+        )
+    elif engine == "thread":
+        bus = ThreadedAhbPlusBus(
+            masters, [ddrc], config=cfg, address_map=address_map
+        )
+    else:
+        raise ConfigError(f"unknown engine {engine!r}; use 'method' or 'thread'")
+    return TlmPlatform(
+        workload=workload, config=cfg, masters=masters, ddrc=ddrc, bus=bus
+    )
+
+
+def build_plain_platform(
+    workload: Workload,
+    config: Optional[AhbPlusConfig] = None,
+) -> PlainPlatform:
+    """Assemble the plain AMBA 2.0 baseline for *workload*.
+
+    Same masters, same DDR device — but no QoS, no write buffer, no
+    request pipelining and no Bus Interface, so the controller sees
+    every transaction cold.
+    """
+    cfg = config_for_workload(workload, config)
+    masters = workload.build_masters()
+    ddrc = DdrControllerTlm(
+        timing=cfg.ddr_timing,
+        bus_bytes=cfg.bus_width_bytes,
+        refresh_enabled=cfg.refresh_enabled,
+    )
+    bus = PlainAhbBus(
+        masters,
+        [ddrc],
+        single_slave_map(cfg.memory_size),
+        arbitration_cycles=max(cfg.arbitration_cycles, 1),
+    )
+    return PlainPlatform(workload=workload, masters=masters, ddrc=ddrc, bus=bus)

@@ -1,0 +1,12 @@
+"""Canonical re-export of the transaction-port datatype.
+
+The :class:`~repro.ahb.transaction.Transaction` object *is* the payload
+of the AHB+ transaction-level ports, so the core package exposes it
+under its own name; the definition lives with the generic AHB substrate
+because the plain baseline bus exchanges the same objects.
+"""
+
+from repro.ahb.transaction import WRITE_BUFFER_MASTER, Transaction
+from repro.ahb.types import AccessKind
+
+__all__ = ["AccessKind", "Transaction", "WRITE_BUFFER_MASTER"]

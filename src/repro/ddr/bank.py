@@ -1,0 +1,156 @@
+"""Per-bank state machine, cycle-accurate.
+
+The paper models the DDRC FSM "as accurate as register transfer level"
+(§3.3).  :class:`BankFsm` is that FSM: one instance per bank, advanced
+one clock per :meth:`tick`, enforcing tRCD, tRP, tRAS and tWR by
+explicit down-counters.  The RTL DDRC steps these machines every cycle;
+the TLM instead uses the analytic :mod:`repro.ddr.timeline`, which is
+where its speed (and its small inaccuracy) comes from.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.ddr.timing import DdrTiming
+from repro.errors import SimulationError
+
+
+class BankState(enum.Enum):
+    """FSM states of one DDR bank."""
+
+    IDLE = "idle"
+    ACTIVATING = "activating"
+    ACTIVE = "active"
+    PRECHARGING = "precharging"
+    REFRESHING = "refreshing"
+
+
+class BankFsm:
+    """Cycle-accurate model of a single DDR bank.
+
+    All ``can_*`` predicates refer to the *current* cycle; commands take
+    effect immediately and their latencies elapse through :meth:`tick`.
+    """
+
+    def __init__(self, index: int, timing: DdrTiming) -> None:
+        self.index = index
+        self.timing = timing
+        self.state = BankState.IDLE
+        self.open_row: Optional[int] = None
+        self._timer = 0  # cycles remaining in a transitional state
+        self._ras_timer = 0  # cycles until precharge becomes legal
+        self._wr_timer = 0  # write-recovery cycles until precharge legal
+        self.activations = 0
+        self.precharges = 0
+        self.row_hits = 0
+
+    # -- predicates --------------------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """True while a transitional state is in progress."""
+        return self.state in (
+            BankState.ACTIVATING,
+            BankState.PRECHARGING,
+            BankState.REFRESHING,
+        )
+
+    def can_activate(self) -> bool:
+        """An ACTIVATE may issue this cycle."""
+        return self.state is BankState.IDLE
+
+    def can_cas(self, row: int) -> bool:
+        """A READ/WRITE to *row* may issue this cycle (row open, tRCD met)."""
+        return self.state is BankState.ACTIVE and self.open_row == row
+
+    def can_precharge(self) -> bool:
+        """A PRECHARGE may issue this cycle (tRAS and tWR satisfied)."""
+        return (
+            self.state is BankState.ACTIVE
+            and self._ras_timer == 0
+            and self._wr_timer == 0
+        )
+
+    def is_row_hit(self, row: int) -> bool:
+        """The access would hit the open row (no row command needed)."""
+        return self.open_row == row and self.state in (
+            BankState.ACTIVE,
+            BankState.ACTIVATING,
+        )
+
+    # -- commands -----------------------------------------------------------------
+
+    def activate(self, row: int) -> None:
+        """Issue ACTIVATE; bank becomes ACTIVE after tRCD ticks."""
+        if not self.can_activate():
+            raise SimulationError(
+                f"bank {self.index}: ACTIVATE while {self.state.value}"
+            )
+        self.state = BankState.ACTIVATING
+        self.open_row = row
+        self._timer = self.timing.t_rcd
+        self._ras_timer = self.timing.t_ras
+        self.activations += 1
+
+    def precharge(self) -> None:
+        """Issue PRECHARGE; bank becomes IDLE after tRP ticks."""
+        if not self.can_precharge():
+            raise SimulationError(
+                f"bank {self.index}: PRECHARGE while {self.state.value} "
+                f"(ras={self._ras_timer}, wr={self._wr_timer})"
+            )
+        self.state = BankState.PRECHARGING
+        self.open_row = None
+        self._timer = self.timing.t_rp
+        self.precharges += 1
+
+    def refresh(self) -> None:
+        """Enter refresh; bank unusable for tRFC ticks (bank must be idle)."""
+        if self.state is not BankState.IDLE:
+            raise SimulationError(
+                f"bank {self.index}: REFRESH while {self.state.value}"
+            )
+        self.state = BankState.REFRESHING
+        self._timer = self.timing.t_rfc
+
+    def note_cas(self, is_write: bool) -> None:
+        """Record a column access (tracks row hits and write recovery)."""
+        if self.state is not BankState.ACTIVE:
+            raise SimulationError(
+                f"bank {self.index}: CAS while {self.state.value}"
+            )
+        self.row_hits += 1
+        if is_write:
+            self._wr_timer = self.timing.t_wr
+
+    def note_write_beat(self) -> None:
+        """Re-arm write recovery from a write data beat.
+
+        tWR counts from the *last* write datum, so the RTL controller
+        re-arms this timer on every beat of a write burst.
+        """
+        self._wr_timer = self.timing.t_wr
+
+    # -- time ------------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one clock cycle."""
+        if self._ras_timer > 0:
+            self._ras_timer -= 1
+        if self._wr_timer > 0:
+            self._wr_timer -= 1
+        if self._timer > 0:
+            self._timer -= 1
+            if self._timer == 0:
+                if self.state is BankState.ACTIVATING:
+                    self.state = BankState.ACTIVE
+                elif self.state in (BankState.PRECHARGING, BankState.REFRESHING):
+                    self.state = BankState.IDLE
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BankFsm({self.index}, {self.state.value}, row={self.open_row}, "
+            f"timer={self._timer})"
+        )

@@ -1,0 +1,78 @@
+"""Backing store shared by every memory model.
+
+A sparse byte-granular store: only written locations consume memory, so
+gigabyte address spaces cost nothing until touched.  Both the RTL and
+TLM DDR controllers write through to a :class:`MemoryModel`, and the
+accuracy harness compares final images with :meth:`equal_contents` to
+prove functional equivalence of the two abstraction levels.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import MemoryError_
+
+
+class MemoryModel:
+    """Sparse little-endian byte store."""
+
+    def __init__(self, name: str = "mem") -> None:
+        self.name = name
+        self._bytes: Dict[int, int] = {}
+        self.read_ops = 0
+        self.write_ops = 0
+
+    def write(self, addr: int, size_bytes: int, value: int) -> None:
+        """Store *value* (little-endian) at *addr*."""
+        if addr < 0:
+            raise MemoryError_(f"{self.name}: negative address {addr:#x}")
+        if value < 0:
+            raise MemoryError_(f"{self.name}: negative data {value}")
+        if value >> (8 * size_bytes):
+            raise MemoryError_(
+                f"{self.name}: value {value:#x} wider than {size_bytes} bytes"
+            )
+        store = self._bytes
+        for i in range(size_bytes):
+            store[addr + i] = (value >> (8 * i)) & 0xFF
+        self.write_ops += 1
+
+    def read(self, addr: int, size_bytes: int) -> int:
+        """Load a little-endian value; unwritten bytes read as zero."""
+        if addr < 0:
+            raise MemoryError_(f"{self.name}: negative address {addr:#x}")
+        store = self._bytes
+        value = 0
+        for i in range(size_bytes):
+            value |= store.get(addr + i, 0) << (8 * i)
+        self.read_ops += 1
+        return value
+
+    def touched_bytes(self) -> int:
+        """Number of distinct bytes ever written."""
+        return len(self._bytes)
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        """Iterate ``(address, byte)`` pairs in address order."""
+        return iter(sorted(self._bytes.items()))
+
+    def equal_contents(self, other: "MemoryModel") -> bool:
+        """True when both stores hold identical non-zero images.
+
+        Zero bytes equal unwritten bytes, matching read semantics.
+        """
+        keys = set(self._bytes) | set(other._bytes)
+        return all(
+            self._bytes.get(k, 0) == other._bytes.get(k, 0) for k in keys
+        )
+
+    def first_difference(self, other: "MemoryModel") -> Tuple[int, int, int]:
+        """First (addr, mine, theirs) mismatch; raises if images match."""
+        keys = sorted(set(self._bytes) | set(other._bytes))
+        for k in keys:
+            mine = self._bytes.get(k, 0)
+            theirs = other._bytes.get(k, 0)
+            if mine != theirs:
+                return k, mine, theirs
+        raise MemoryError_("memory images are identical")

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting genuine bugs (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The simulation kernel detected an inconsistent state."""
+
+
+class CombinationalLoopError(SimulationError):
+    """Combinational signals failed to settle within the iteration bound.
+
+    Raised by the 2-step cycle engine when the evaluate phase keeps
+    producing signal changes, which indicates a combinational feedback
+    loop in the modelled netlist.
+    """
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or the queue was corrupted."""
+
+
+class ProtocolError(ReproError):
+    """A bus protocol rule was violated (assertion layer)."""
+
+
+class PropertyViolation(ReproError):
+    """A high-level property check failed (QoS deadline, ordering, ...)."""
+
+
+class ConfigError(ReproError):
+    """An invalid platform or component configuration was supplied."""
+
+
+class MemoryError_(ReproError):
+    """An access fell outside the modelled memory or was malformed."""
+
+
+class TrafficError(ReproError):
+    """A traffic pattern or trace was malformed."""

@@ -1,0 +1,44 @@
+"""Simulation kernel: event-driven scheduler and 2-step cycle engine.
+
+The transaction-level models run on :class:`Simulator` (sparse,
+per-transaction events); the pin-accurate RTL reference runs on
+:class:`CycleEngine` (dense, per-cycle evaluate/update sweeps).  Both
+count time in integer bus cycles so accuracy comparisons are exact.
+"""
+
+from repro.kernel.clock import Clock
+from repro.kernel.cycle import CycleEngine, MAX_SETTLE_ITERATIONS
+from repro.kernel.events import Event, EventQueue
+from repro.kernel.process import (
+    MethodProcess,
+    ThreadProcess,
+    WaitCycles,
+    WaitEvent,
+)
+from repro.kernel.signal import (
+    Signal,
+    SignalBundle,
+    bytes_to_vector,
+    vector_to_bytes,
+)
+from repro.kernel.simulator import RepeatingTask, Simulator
+from repro.kernel.tracing import VcdTracer
+
+__all__ = [
+    "Clock",
+    "CycleEngine",
+    "Event",
+    "EventQueue",
+    "MAX_SETTLE_ITERATIONS",
+    "MethodProcess",
+    "RepeatingTask",
+    "Signal",
+    "SignalBundle",
+    "Simulator",
+    "ThreadProcess",
+    "VcdTracer",
+    "WaitCycles",
+    "WaitEvent",
+    "bytes_to_vector",
+    "vector_to_bytes",
+]

@@ -1,0 +1,58 @@
+"""Clock bookkeeping shared by the TLM and RTL platforms.
+
+The bus clock is the single time base of the whole system.  The TLM
+does not toggle a clock signal — it simply advances an integer cycle
+counter — but both models report time in the same units so accuracy
+comparisons are direct cycle-count comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class Clock:
+    """An integer cycle counter with an optional nominal frequency.
+
+    The frequency is only used to convert cycle counts into nominal
+    seconds for reports; simulation semantics never depend on it.
+    """
+
+    def __init__(self, name: str = "HCLK", frequency_mhz: float = 133.0) -> None:
+        if frequency_mhz <= 0:
+            raise ConfigError(f"clock {name}: non-positive frequency {frequency_mhz}")
+        self.name = name
+        self.frequency_mhz = frequency_mhz
+        self._cycle = 0
+
+    @property
+    def cycle(self) -> int:
+        """Cycles elapsed since reset."""
+        return self._cycle
+
+    def advance(self, cycles: int = 1) -> int:
+        """Move the clock forward by *cycles* (non-negative)."""
+        if cycles < 0:
+            raise ConfigError(f"clock {self.name}: negative advance {cycles}")
+        self._cycle += cycles
+        return self._cycle
+
+    def advance_to(self, cycle: int) -> int:
+        """Move the clock forward to absolute *cycle* (monotonic)."""
+        if cycle < self._cycle:
+            raise ConfigError(
+                f"clock {self.name}: cannot rewind from {self._cycle} to {cycle}"
+            )
+        self._cycle = cycle
+        return self._cycle
+
+    def reset(self) -> None:
+        """Rewind to cycle zero (between independent simulation runs)."""
+        self._cycle = 0
+
+    def cycles_to_us(self, cycles: int) -> float:
+        """Convert a cycle count to nominal microseconds."""
+        return cycles / self.frequency_mhz
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock({self.name!r}, cycle={self._cycle})"

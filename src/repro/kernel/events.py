@@ -1,0 +1,114 @@
+"""Event primitives for the discrete-event kernel.
+
+Two small classes live here:
+
+* :class:`Event` — a named notification object that callbacks and
+  thread-style processes can wait on.  Mirrors the role of
+  ``sc_event`` in SystemC, which the paper's TLM environment is built
+  on.
+* :class:`EventQueue` — a monotonic priority queue of ``(time, seq,
+  action)`` entries used by :class:`repro.kernel.simulator.Simulator`.
+
+The queue breaks ties by insertion order (the ``seq`` counter) so that
+simulations are fully deterministic: two actions scheduled for the same
+cycle always run in the order they were scheduled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+
+Action = Callable[[], Any]
+
+
+class Event:
+    """A notification object that observers can subscribe to.
+
+    Observers are plain callables registered with :meth:`subscribe`.
+    Calling :meth:`notify` invokes every observer once, in subscription
+    order.  Observers registered *during* a notification are not invoked
+    until the next notification, matching SystemC delta semantics.
+    """
+
+    __slots__ = ("name", "_observers", "_fire_count")
+
+    def __init__(self, name: str = "event") -> None:
+        self.name = name
+        self._observers: List[Action] = []
+        self._fire_count = 0
+
+    @property
+    def fire_count(self) -> int:
+        """Number of times :meth:`notify` has been called."""
+        return self._fire_count
+
+    def subscribe(self, action: Action) -> None:
+        """Register *action* to be invoked on every future notification."""
+        self._observers.append(action)
+
+    def unsubscribe(self, action: Action) -> None:
+        """Remove a previously registered observer.
+
+        Raises ``ValueError`` if the action was never subscribed, because
+        silently ignoring the mistake would hide wiring bugs in models.
+        """
+        self._observers.remove(action)
+
+    def notify(self) -> None:
+        """Fire the event, invoking all currently subscribed observers."""
+        self._fire_count += 1
+        # Copy so that observers subscribing/unsubscribing mid-notify do
+        # not perturb this delivery round.
+        for action in list(self._observers):
+            action()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.name!r}, observers={len(self._observers)})"
+
+
+class EventQueue:
+    """Time-ordered queue of scheduled actions.
+
+    Entries are ``(time, seq, action)`` tuples kept in a binary heap.
+    ``seq`` is a global insertion counter guaranteeing FIFO order among
+    same-time entries, which keeps runs reproducible.
+    """
+
+    __slots__ = ("_heap", "_counter")
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Action]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, time: int, action: Action) -> None:
+        """Schedule *action* to run at absolute *time*."""
+        if time < 0:
+            raise SchedulingError(f"cannot schedule at negative time {time}")
+        heapq.heappush(self._heap, (time, next(self._counter), action))
+
+    def peek_time(self) -> Optional[int]:
+        """Return the timestamp of the earliest entry, or ``None`` if empty."""
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    def pop(self) -> Tuple[int, Action]:
+        """Remove and return the earliest ``(time, action)`` pair."""
+        if not self._heap:
+            raise SchedulingError("pop from an empty event queue")
+        time, _seq, action = heapq.heappop(self._heap)
+        return time, action
+
+    def clear(self) -> None:
+        """Drop all pending entries."""
+        self._heap.clear()

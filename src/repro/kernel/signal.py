@@ -1,0 +1,164 @@
+"""Two-phase signals for the pin-accurate models.
+
+A :class:`Signal` mimics an ``sc_signal``/Verilog wire-or-reg pair:
+
+* **Combinational drive** (:meth:`drive`) takes effect immediately and
+  marks the signal changed, so the cycle engine's evaluate phase can
+  iterate until the netlist settles.
+* **Registered drive** (:meth:`drive_next`) stores a pending value that
+  only becomes visible when :meth:`commit` runs at the clock edge —
+  the classic two-phase (evaluate/update) discipline that prevents
+  race conditions between flip-flops.
+
+Signals carry integer values only (buses are modelled as integers of the
+configured width); ``bool`` is accepted and normalised to ``0``/``1``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+_UNSET = object()
+
+
+class Signal:
+    """A named, width-checked wire with two-phase update semantics."""
+
+    __slots__ = ("name", "width", "_value", "_next", "_changed", "_watchers", "_mask")
+
+    def __init__(self, name: str, width: int = 1, reset: int = 0) -> None:
+        if width < 1 or width > 128:
+            raise SimulationError(f"signal {name}: unsupported width {width}")
+        self.name = name
+        self.width = width
+        self._mask = (1 << width) - 1
+        self._value = self._coerce(reset)
+        self._next: object = _UNSET
+        self._changed = False
+        self._watchers: List[Callable[["Signal"], None]] = []
+
+    def _coerce(self, value: object) -> int:
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, int):
+            raise SimulationError(
+                f"signal {self.name}: non-integer value {value!r}"
+            )
+        return value & self._mask
+
+    # -- read ---------------------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The currently visible (committed) value."""
+        return self._value
+
+    def __bool__(self) -> bool:
+        return bool(self._value)
+
+    # -- combinational drive -------------------------------------------------
+
+    def drive(self, value: object) -> bool:
+        """Immediately set the value (combinational logic).
+
+        Returns ``True`` when the visible value actually changed, which
+        the cycle engine uses to decide whether the netlist has settled.
+        """
+        coerced = self._coerce(value)
+        if coerced == self._value:
+            return False
+        self._value = coerced
+        self._changed = True
+        for watcher in self._watchers:
+            watcher(self)
+        return True
+
+    # -- registered drive ----------------------------------------------------
+
+    def drive_next(self, value: object) -> None:
+        """Schedule *value* to appear at the next :meth:`commit` (clock edge)."""
+        self._next = self._coerce(value)
+
+    def commit(self) -> bool:
+        """Publish the pending registered value, if any.
+
+        Returns ``True`` when the visible value changed.
+        """
+        if self._next is _UNSET:
+            return False
+        pending = self._next
+        self._next = _UNSET
+        assert isinstance(pending, int)
+        if pending == self._value:
+            return False
+        self._value = pending
+        self._changed = True
+        for watcher in self._watchers:
+            watcher(self)
+        return True
+
+    # -- change tracking -----------------------------------------------------
+
+    def consume_changed(self) -> bool:
+        """Return and clear the changed flag (used by the settle loop)."""
+        was = self._changed
+        self._changed = False
+        return was
+
+    def watch(self, callback: Callable[["Signal"], None]) -> None:
+        """Invoke *callback(signal)* whenever the visible value changes."""
+        self._watchers.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Signal({self.name!r}, width={self.width}, value={self._value:#x})"
+
+
+class SignalBundle:
+    """A named group of signals, handy for ports of RTL components.
+
+    Subclasses (or callers) add :class:`Signal` attributes; the bundle
+    provides iteration and bulk reset so platforms can wire and reset
+    whole interfaces at once.
+    """
+
+    def __init__(self, prefix: str) -> None:
+        self.prefix = prefix
+
+    def signals(self) -> Iterable[Signal]:
+        """Yield every :class:`Signal` attribute of the bundle."""
+        for attr in vars(self).values():
+            if isinstance(attr, Signal):
+                yield attr
+
+    def make(self, name: str, width: int = 1, reset: int = 0) -> Signal:
+        """Create a signal named ``<prefix>.<name>`` and attach it."""
+        sig = Signal(f"{self.prefix}.{name}", width=width, reset=reset)
+        setattr(self, name, sig)
+        return sig
+
+    def reset_all(self, value: int = 0) -> None:
+        """Combinationally drive every signal in the bundle to *value*."""
+        for sig in self.signals():
+            sig.drive(value)
+
+
+def settle(signals: Iterable[Signal]) -> bool:
+    """Clear the changed flags of *signals*, reporting whether any were set."""
+    any_changed = False
+    for sig in signals:
+        if sig.consume_changed():
+            any_changed = True
+    return any_changed
+
+
+def vector_to_bytes(value: int, width_bits: int) -> bytes:
+    """Render an integer bus value as little-endian bytes of the bus width."""
+    nbytes = (width_bits + 7) // 8
+    return value.to_bytes(nbytes, "little")
+
+
+def bytes_to_vector(data: bytes) -> int:
+    """Inverse of :func:`vector_to_bytes`."""
+    return int.from_bytes(data, "little")

@@ -1,0 +1,39 @@
+"""Pin-accurate RTL reference model of the AHB+ bus architecture.
+
+Signal-level masters, arbiter, mux, write-buffer drain engine, Bus
+Interface and DDR controller FSMs running on the 2-step cycle engine.
+This is the reference the transaction-level model is validated against
+for accuracy and measured against for speed.
+"""
+
+from repro.rtl.arbiter import ArbiterRtl
+from repro.rtl.ddrc import DdrcRtl, RtlAccess, RtlSegment
+from repro.rtl.master import MasterRtl, MasterState
+from repro.rtl.mux import BusMux
+from repro.rtl.platform import RtlPlatform, build_rtl_platform
+from repro.rtl.signals import (
+    BiSignals,
+    MasterSignals,
+    NO_OWNER,
+    SharedBusSignals,
+    all_signals,
+)
+from repro.rtl.write_buffer import BufferMasterRtl, DrainState
+
+__all__ = [
+    "ArbiterRtl",
+    "BiSignals",
+    "BufferMasterRtl",
+    "BusMux",
+    "DdrcRtl",
+    "DrainState",
+    "MasterRtl",
+    "MasterSignals",
+    "MasterState",
+    "NO_OWNER",
+    "RtlAccess",
+    "RtlPlatform",
+    "RtlSegment",
+    "SharedBusSignals",
+    "all_signals",
+]

@@ -1,0 +1,389 @@
+"""Pin-accurate DDR controller.
+
+Paper §3.3: *"To increase the cycle accuracy, we modeled the FSM as
+accurate as register transfer level."*  This component is that FSM: the
+per-bank :class:`~repro.ddr.bank.BankFsm` machines tick every clock,
+one DDR command issues per cycle through the
+:class:`~repro.ddr.scheduler.CommandScheduler` (column > row >
+precharge priority), refresh interjects on its tREFI deadline, and data
+beats move one per cycle through the HRDATA/HWDATA signals.
+
+The controller also terminates the AHB+ Bus Interface: prepared
+next-transaction info arrives over the ``BI_*`` signals and is enqueued
+so the scheduler can open the target row while the current burst still
+streams (bank interleaving), and the idle-bank map is exported back to
+the arbiter's bank filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.ahb.burst import beat_addresses
+from repro.ahb.types import HBurst
+from repro.ddr.bank import BankFsm, BankState
+from repro.ddr.commands import BankAddress, DdrCommand, decode_address
+from repro.ddr.memory import MemoryModel
+from repro.ddr.scheduler import CommandScheduler, PendingAccess, ScheduledCommand
+from repro.ddr.timing import DdrTiming
+from repro.errors import SimulationError
+from repro.kernel.cycle import CycleEngine
+from repro.rtl.signals import BiSignals, NO_OWNER, SharedBusSignals
+
+_UID = 0
+
+
+def _next_uid() -> int:
+    global _UID
+    _UID += 1
+    return _UID
+
+
+@dataclass(eq=False)
+class RtlSegment(PendingAccess):
+    """A scheduler segment that knows its parent access."""
+
+    access: Optional["RtlAccess"] = None
+    addrs: List[int] = field(default_factory=list)
+
+
+@dataclass(eq=False)
+class RtlAccess:
+    """One burst access as the controller tracks it."""
+
+    addr: int
+    is_write: bool
+    beats: int
+    size_bytes: int
+    wrapping: bool
+    owner: int = NO_OWNER
+    bus_started: bool = False
+    prepared: bool = False
+    segments: List[RtlSegment] = field(default_factory=list)
+    segments_done: int = 0
+
+    def matches(self, addr: int, is_write: bool, beats: int) -> bool:
+        return self.addr == addr and self.is_write == is_write and self.beats == beats
+
+    @property
+    def complete(self) -> bool:
+        return self.segments_done >= len(self.segments)
+
+
+@dataclass
+class _Stream:
+    """Data-beat streaming state for one segment."""
+
+    access: RtlAccess
+    segment: RtlSegment
+    data_start: int
+    beats_done: int = 0
+
+    @property
+    def length(self) -> int:
+        return len(self.segment.addrs)
+
+    @property
+    def is_last_segment(self) -> bool:
+        return self.access.segments_done == len(self.access.segments) - 1
+
+
+class DdrcRtl:
+    """The AHB+ DDR controller at signal level."""
+
+    def __init__(
+        self,
+        bus: SharedBusSignals,
+        bi: BiSignals,
+        engine: CycleEngine,
+        timing: DdrTiming,
+        bus_bytes: int = 4,
+        memory: Optional[MemoryModel] = None,
+        refresh_enabled: bool = True,
+    ) -> None:
+        self.bus = bus
+        self.bi = bi
+        self.engine = engine
+        self.timing = timing
+        self.bus_bytes = bus_bytes
+        self.memory = memory if memory is not None else MemoryModel("ddrc.mem")
+        self.refresh_enabled = refresh_enabled
+        self.banks = [BankFsm(i, timing) for i in range(timing.num_banks)]
+        self.scheduler = CommandScheduler(timing, self.banks)
+        self.queue: List[RtlAccess] = []
+        self._stream: Optional[_Stream] = None
+        self._refresh_counter = timing.t_refi
+        self._refresh_pending = False
+        # Statistics (mirror the TLM controller's counters).
+        self.reads = 0
+        self.writes = 0
+        self.refreshes = 0
+        self.data_beats = 0
+        self.prepared_banks = 0
+
+    # -- BI status for the arbiter's bank filter -------------------------------
+
+    def access_score(self, addr: int) -> int:
+        """0 row hit / 1 bank idle / 2 row conflict for the bank filter."""
+        baddr = decode_address(addr, self.timing, self.bus_bytes)
+        bank = self.banks[baddr.bank]
+        if bank.is_row_hit(baddr.row):
+            return 0
+        if bank.state is BankState.IDLE:
+            return 1
+        return 2
+
+    # -- access construction ------------------------------------------------------
+
+    def _build_access(
+        self, addr: int, is_write: bool, beats: int, size_bytes: int, wrapping: bool
+    ) -> RtlAccess:
+        access = RtlAccess(
+            addr=addr,
+            is_write=is_write,
+            beats=beats,
+            size_bytes=size_bytes,
+            wrapping=wrapping,
+        )
+        addrs = beat_addresses(addr, beats, size_bytes, wrapping)
+        current: Optional[Tuple[BankAddress, List[int]]] = None
+        groups: List[Tuple[BankAddress, List[int]]] = []
+        for beat_addr in addrs:
+            baddr = decode_address(beat_addr, self.timing, self.bus_bytes)
+            if (
+                current is not None
+                and current[0].bank == baddr.bank
+                and current[0].row == baddr.row
+            ):
+                current[1].append(beat_addr)
+            else:
+                current = (baddr, [beat_addr])
+                groups.append(current)
+        for baddr, group_addrs in groups:
+            segment = RtlSegment(
+                baddr=baddr,
+                is_write=is_write,
+                beats=len(group_addrs),
+                uid=_next_uid(),
+                access=access,
+                addrs=group_addrs,
+            )
+            access.segments.append(segment)
+            self.scheduler.enqueue(segment)
+        self.queue.append(access)
+        return access
+
+    def _drop_stale_prepared(self) -> None:
+        """Remove prepared accesses that never became bus transfers."""
+        stale = [a for a in self.queue if a.prepared and not a.bus_started]
+        for access in stale:
+            for segment in access.segments:
+                if segment in self.scheduler.queue:
+                    self.scheduler.queue.remove(segment)
+            self.queue.remove(access)
+
+    # -- sequential phase ----------------------------------------------------------
+
+    def update(self) -> None:
+        now = self.engine.cycle
+        self._process_beat(now)
+        # BI info is consumed before the address phase so a next-info
+        # pulse and its own address phase landing in the same cycle pair
+        # up instead of creating a stale duplicate.
+        self._accept_bi_next(now)
+        self._accept_address_phase(now)
+        self._tick_refresh()
+        # Banks tick before the scheduler decides, so a transition that
+        # completes this cycle can be followed by its dependent command
+        # immediately — keeping PRE→ACT→CAS spacing at exactly
+        # tRP/tRCD, the same arithmetic the TLM timeline uses.
+        self.scheduler.tick()
+        self._run_scheduler(now)
+        self._drive_outputs(now)
+
+    # -- step 1: move this cycle's data beat -----------------------------------------
+
+    def _process_beat(self, now: int) -> None:
+        stream = self._stream
+        if stream is None or now < stream.data_start:
+            return
+        if stream.beats_done >= stream.length:
+            return
+        beat_addr = stream.segment.addrs[stream.beats_done]
+        if stream.access.is_write:
+            self.memory.write(
+                beat_addr, stream.access.size_bytes, self.bus.hwdata.value
+            )
+            # Write recovery re-arms from every data beat.
+            self.banks[stream.segment.baddr.bank].note_write_beat()
+        self.data_beats += 1
+        stream.beats_done += 1
+        if stream.beats_done >= stream.length:
+            retired = self.scheduler.retire_head()
+            if retired is not stream.segment:
+                raise SimulationError("DDRC retired an unexpected segment")
+            stream.access.segments_done += 1
+            if stream.access.complete:
+                if stream.access.is_write:
+                    self.writes += 1
+                else:
+                    self.reads += 1
+                self.queue.remove(stream.access)
+            self._stream = None
+
+    # -- step 2: accept a new address phase --------------------------------------------
+
+    def _accept_address_phase(self, now: int) -> None:
+        if self.bus.htrans.value != 0b10:  # HTrans.NONSEQ
+            return
+        addr = self.bus.haddr.value
+        is_write = bool(self.bus.hwrite.value)
+        beats = self.bus.hlen.value
+        size_bytes = 1 << self.bus.hsize.value
+        burst = HBurst(self.bus.hburst.value)
+        owner = self.bus.addr_owner.value
+        for access in self.queue:
+            if access.prepared and not access.bus_started and access.matches(
+                addr, is_write, beats
+            ):
+                access.bus_started = True
+                access.owner = owner
+                return
+        # No matching preparation (BI off, or idle-path grant): drop any
+        # stale preparation and enqueue fresh.
+        self._drop_stale_prepared()
+        access = self._build_access(
+            addr, is_write, beats, size_bytes, burst.is_wrapping
+        )
+        access.bus_started = True
+        access.owner = owner
+
+    # -- step 3: consume BI next-transaction info ----------------------------------------
+
+    def _accept_bi_next(self, now: int) -> None:
+        if not self.bi.next_valid.value:
+            return
+        addr = self.bi.next_addr.value
+        is_write = bool(self.bi.next_write.value)
+        beats = self.bi.next_len.value
+        size_bytes = 1 << self.bi.next_size.value
+        wrapping = bool(self.bi.next_wrap.value)
+        # Ignore duplicate announcements: either a pending preparation or
+        # an access whose address phase already arrived (late next-info).
+        for access in self.queue:
+            if access.matches(addr, is_write, beats):
+                return
+        access = self._build_access(addr, is_write, beats, size_bytes, wrapping)
+        access.prepared = True
+        self.prepared_banks += 1
+
+    # -- step 4: refresh deadline ----------------------------------------------------------
+
+    def _tick_refresh(self) -> None:
+        if not self.refresh_enabled:
+            return
+        self._refresh_counter -= 1
+        if self._refresh_counter <= 0:
+            self._refresh_pending = True
+
+    # -- step 5: one DDR command per cycle ----------------------------------------------------
+
+    def _head_cas_allowed(self) -> bool:
+        """CAS may issue only for a bus-started head with a free data path."""
+        if self._stream is not None:
+            return False
+        if not self.scheduler.queue:
+            return False
+        head = self.scheduler.queue[0]
+        assert isinstance(head, RtlSegment) and head.access is not None
+        return head.access.bus_started
+
+    def _run_scheduler(self, now: int) -> None:
+        refresh_forced = (
+            self._refresh_pending
+            and self._stream is None
+            and self.refresh_enabled
+        )
+        decision = self.scheduler.decide(
+            refresh_forced=refresh_forced,
+            data_path_free=self._head_cas_allowed(),
+            busy_bank=(
+                self._stream.segment.baddr.bank if self._stream is not None else None
+            ),
+        )
+        if decision.command in (DdrCommand.READ, DdrCommand.WRITE):
+            segment = decision.access
+            assert isinstance(segment, RtlSegment) and segment.access is not None
+            latency = (
+                self.timing.write_latency
+                if segment.is_write
+                else self.timing.cas_latency
+            )
+            # The command occupies the next cycle; data follows latency.
+            self._stream = _Stream(
+                access=segment.access,
+                segment=segment,
+                data_start=now + 1 + latency,
+            )
+        elif decision.command is DdrCommand.REFRESH:
+            self._refresh_pending = False
+            self._refresh_counter += self.timing.t_refi
+            self.refreshes += 1
+
+    # -- step 6: registered outputs for the next cycle ------------------------------------------
+
+    def _beat_next_cycle(self) -> bool:
+        stream = self._stream
+        return (
+            stream is not None
+            and self.engine.cycle + 1 >= stream.data_start
+            and stream.beats_done < stream.length
+        )
+
+    def _drive_outputs(self, now: int) -> None:
+        bus = self.bus
+        stream = self._stream
+        if self._beat_next_cycle():
+            assert stream is not None
+            bus.hready.drive_next(1)
+            bus.stream_owner.drive_next(stream.access.owner)
+            if not stream.access.is_write:
+                beat_addr = stream.segment.addrs[stream.beats_done]
+                bus.hrdata.drive_next(
+                    self.memory.read(beat_addr, stream.access.size_bytes)
+                )
+        else:
+            bus.hready.drive_next(0)
+            bus.stream_owner.drive_next(NO_OWNER)
+        started = [a for a in self.queue if a.bus_started]
+        final_beat_next = (
+            stream is not None
+            and self._beat_next_cycle()
+            and stream.is_last_segment
+            and stream.length - stream.beats_done == 1
+        )
+        available = not started or (len(started) == 1 and final_beat_next)
+        bus.bus_available.drive_next(available)
+        bus.ddr_busy.drive_next(bool(started))
+        if (
+            stream is not None
+            and stream.is_last_segment
+            and now + 1 >= stream.data_start
+        ):
+            bus.ddr_remaining.drive_next(stream.length - stream.beats_done)
+        else:
+            bus.ddr_remaining.drive_next(0)
+        self.bi.refresh_busy.drive_next(self._refresh_pending)
+        idle_map = 0
+        for bank in self.banks:
+            if bank.state is BankState.IDLE:
+                idle_map |= 1 << bank.index
+        self.bi.idle_banks.drive_next(idle_map)
+
+    # -- status ------------------------------------------------------------------------------------
+
+    @property
+    def idle(self) -> bool:
+        """No queued or streaming work."""
+        return not self.queue and self._stream is None

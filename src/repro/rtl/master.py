@@ -1,0 +1,166 @@
+"""Pin-accurate bus master.
+
+Drives the per-master signal bundle through the classic AHB master FSM:
+
+* ``IDLE``    — no transaction in hand; fetch from the traffic agent,
+* ``REQUEST`` — HBUSREQ asserted, waiting for HGRANT + bus availability,
+* ``DATA``    — address phase done; counting HREADY beats, driving
+  HWDATA (writes) or capturing HRDATA (reads).
+
+The master consumes the *same* :class:`~repro.ahb.master.TlmMaster`
+traffic agent as the transaction-level engines, so one workload seed
+produces the identical transaction stream at both abstraction levels —
+the precondition of the paper's accuracy comparison.
+
+Cycle conventions (shared by every RTL component):
+
+* combinational ``evaluate`` runs during cycle *k* and reads/drives
+  settled cycle-*k* values;
+* sequential ``update`` runs at the end of cycle *k*; direct Python
+  calls between components (write-buffer absorption) happen there, with
+  the arbiter registered *before* the masters so an absorbed master can
+  re-request on the very next cycle, as the TLM does.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional
+
+from repro.ahb.master import TlmMaster
+from repro.ahb.transaction import Transaction
+from repro.ahb.types import HTrans
+from repro.kernel.cycle import CycleEngine
+from repro.rtl.signals import MasterSignals, SharedBusSignals
+
+
+class MasterState(enum.Enum):
+    IDLE = "idle"
+    REQUEST = "request"
+    DATA = "data"
+
+
+class MasterRtl:
+    """One AHB+ master at signal level."""
+
+    def __init__(
+        self,
+        agent: TlmMaster,
+        signals: MasterSignals,
+        bus: SharedBusSignals,
+        engine: CycleEngine,
+    ) -> None:
+        self.agent = agent
+        self.index = agent.index
+        self.sig = signals
+        self.bus = bus
+        self.engine = engine
+        self.state = MasterState.IDLE
+        self._txn: Optional[Transaction] = None
+        self._beat = 0
+        self._captured: List[int] = []
+        engine.add_combinational(self.evaluate)
+
+    # -- views --------------------------------------------------------------------
+
+    @property
+    def current_transaction(self) -> Optional[Transaction]:
+        """The transaction being requested (for the arbiter's sideband)."""
+        if self.state is MasterState.REQUEST:
+            return self._txn
+        return None
+
+    @property
+    def done(self) -> bool:
+        """All traffic issued and completed."""
+        return self.agent.done and self.state is MasterState.IDLE
+
+    def _drives_address_now(self) -> bool:
+        return (
+            self.state is MasterState.REQUEST
+            and bool(self.sig.hgrant.value)
+            and bool(self.bus.bus_available.value)
+        )
+
+    # -- combinational phase ----------------------------------------------------------
+
+    def evaluate(self) -> None:
+        """Drive HBUSREQ, the address phase and write data for this cycle."""
+        txn = self._txn
+        self.sig.hbusreq.drive(self.state is MasterState.REQUEST)
+        if self._drives_address_now():
+            assert txn is not None
+            self.sig.htrans.drive(int(HTrans.NONSEQ))
+            self.sig.haddr.drive(txn.addr)
+            self.sig.hwrite.drive(txn.is_write)
+            self.sig.hburst.drive(int(txn.burst))
+            self.sig.hlen.drive(txn.beats)
+            self.sig.hsize.drive(int(txn.hsize))
+        else:
+            self.sig.htrans.drive(int(HTrans.IDLE))
+        if (
+            self.state is MasterState.DATA
+            and txn is not None
+            and txn.is_write
+            and self._beat < txn.beats
+        ):
+            self.sig.hwdata.drive(txn.data[self._beat] if txn.data else 0)
+
+    # -- sequential phase ----------------------------------------------------------------
+
+    def update(self) -> None:
+        """Advance the FSM at the end of cycle ``engine.cycle``."""
+        now = self.engine.cycle
+        if self.state is MasterState.DATA:
+            self._update_data(now)
+        elif self.state is MasterState.REQUEST:
+            if self._drives_address_now():
+                txn = self._txn
+                assert txn is not None
+                txn.granted_at = now
+                txn.started_at = now
+                self.state = MasterState.DATA
+                self._beat = 0
+                self._captured = []
+        if self.state is MasterState.IDLE:
+            self._fetch(now)
+
+    def _update_data(self, now: int) -> None:
+        txn = self._txn
+        assert txn is not None
+        if (
+            bool(self.bus.hready.value)
+            and self.bus.stream_owner.value == self.index
+        ):
+            if not txn.is_write:
+                self._captured.append(self.bus.hrdata.value)
+            self._beat += 1
+            if self._beat >= txn.beats:
+                if not txn.is_write:
+                    txn.data = list(self._captured)
+                self.agent.complete(txn, now)
+                self._txn = None
+                self.state = MasterState.IDLE
+
+    def _fetch(self, now: int) -> None:
+        """Arm the next request so HBUSREQ is visible next cycle."""
+        txn = self.agent.pending(now + 1)
+        if txn is not None:
+            self._txn = txn
+            self.state = MasterState.REQUEST
+
+    # -- write-buffer interaction ------------------------------------------------------------
+
+    def absorb_current(self, cycle: int) -> Transaction:
+        """The arbiter posted our pending write into the write buffer.
+
+        Called from the arbiter's sequential phase (which runs before
+        the masters'), so this master can fetch and re-request on the
+        very next cycle.
+        """
+        txn = self._txn
+        assert txn is not None and txn.is_write and self.state is MasterState.REQUEST
+        self.agent.absorb(txn, cycle)
+        self._txn = None
+        self.state = MasterState.IDLE
+        return txn

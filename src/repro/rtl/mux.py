@@ -1,0 +1,52 @@
+"""Address/data multiplexers of the AHB+ main bus.
+
+Pure combinational routing, exactly the muxes of the AMBA spec's bus
+fabric: the address/control group follows whichever master drives an
+active transfer this cycle, and the write-data bus follows the
+data-phase owner published by the DDRC (``stream_owner``).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ahb.types import HTrans
+from repro.kernel.cycle import CycleEngine
+from repro.rtl.signals import MasterSignals, NO_OWNER, SharedBusSignals
+
+
+class BusMux:
+    """Routes per-master signal bundles onto the shared bus."""
+
+    def __init__(
+        self,
+        master_signals: List[MasterSignals],
+        bus: SharedBusSignals,
+        engine: CycleEngine,
+    ) -> None:
+        #: Indexed by owner index; the write buffer's bundle sits last.
+        self.master_signals = master_signals
+        self.bus = bus
+        engine.add_combinational(self.evaluate)
+
+    def evaluate(self) -> None:
+        """Drive the shared address/control and write-data buses."""
+        driver = None
+        for bundle in self.master_signals:
+            if bundle.htrans.value == int(HTrans.NONSEQ):
+                driver = bundle
+                break
+        if driver is not None:
+            self.bus.htrans.drive(int(HTrans.NONSEQ))
+            self.bus.haddr.drive(driver.haddr.value)
+            self.bus.hwrite.drive(driver.hwrite.value)
+            self.bus.hburst.drive(driver.hburst.value)
+            self.bus.hlen.drive(driver.hlen.value)
+            self.bus.hsize.drive(driver.hsize.value)
+            self.bus.addr_owner.drive(driver.index)
+        else:
+            self.bus.htrans.drive(int(HTrans.IDLE))
+            self.bus.addr_owner.drive(NO_OWNER)
+        owner = self.bus.stream_owner.value
+        if owner != NO_OWNER and owner < len(self.master_signals):
+            self.bus.hwdata.drive(self.master_signals[owner].hwdata.value)

@@ -1,0 +1,183 @@
+"""RTL platform: wire the pin-accurate system together and run it.
+
+Builds masters, arbiter, write buffer, mux, BI and DDRC over one
+:class:`~repro.kernel.cycle.CycleEngine`, from the same
+:class:`~repro.core.config.AhbPlusConfig` and
+:class:`~repro.traffic.workloads.Workload` the TLM platforms consume.
+The run loop steps the 2-step engine cycle by cycle until all traffic
+drains — this is the slow, per-cycle reference the paper measures its
+353× TLM speedup against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.ahb.master import TlmMaster
+from repro.core.bus import AhbPlusRunResult
+from repro.core.config import AhbPlusConfig
+from repro.core.platform import config_for_workload
+from repro.core.qos import QosRegisterFile
+from repro.core.write_buffer import WriteBuffer
+from repro.ddr.memory import MemoryModel
+from repro.errors import SimulationError
+from repro.kernel.cycle import CycleEngine
+from repro.kernel.tracing import VcdTracer
+from repro.rtl.arbiter import ArbiterRtl
+from repro.rtl.ddrc import DdrcRtl
+from repro.rtl.master import MasterRtl
+from repro.rtl.mux import BusMux
+from repro.rtl.signals import (
+    BiSignals,
+    MasterSignals,
+    SharedBusSignals,
+    all_signals,
+)
+from repro.rtl.write_buffer import BufferMasterRtl
+from repro.traffic.workloads import Workload
+
+
+@dataclass
+class RtlPlatform:
+    """An assembled pin-accurate AHB+ system."""
+
+    workload: Workload
+    config: AhbPlusConfig
+    engine: CycleEngine
+    agents: List[TlmMaster]
+    masters: List[MasterRtl]
+    buffer_master: BufferMasterRtl
+    write_buffer: WriteBuffer
+    arbiter: ArbiterRtl
+    ddrc: DdrcRtl
+    qos: QosRegisterFile
+    bus: SharedBusSignals
+    bi: BiSignals
+    tracer: Optional[VcdTracer] = None
+
+    @property
+    def memory(self) -> MemoryModel:
+        return self.ddrc.memory
+
+    def _drained(self) -> bool:
+        return (
+            all(master.done for master in self.masters)
+            and self.buffer_master.done
+            and self.ddrc.idle
+        )
+
+    def run(self, max_cycles: int = 2_000_000) -> AhbPlusRunResult:
+        """Step the cycle engine until all traffic drains.
+
+        Returns the same result record as the TLM engines so the
+        accuracy harness can compare field by field.
+        """
+        self.engine.run_until(self._drained, max_cycles=max_cycles)
+        if not self._drained():
+            raise SimulationError(
+                f"RTL platform did not drain within {max_cycles} cycles"
+            )
+        return self._result()
+
+    def _result(self) -> AhbPlusRunResult:
+        return AhbPlusRunResult(
+            cycles=self.engine.cycle,
+            transactions=self.ddrc.reads + self.ddrc.writes,
+            bytes_transferred=self.ddrc.data_beats * self.config.bus_width_bytes,
+            busy_cycles=self.ddrc.data_beats,
+            per_master_transactions=[
+                agent.transactions_completed for agent in self.agents
+            ],
+            absorbed_writes=self.write_buffer.absorbed,
+            drained_writes=self.write_buffer.drained,
+            max_buffer_occupancy=self.write_buffer.max_occupancy,
+            rt_deadline_hits=self.qos.deadline_hits,
+            rt_deadline_misses=self.qos.deadline_misses,
+            pipelined_grants=self.arbiter.pipelined_grants,
+            bi_next_info=self.arbiter.bi_next_info,
+            filter_stats=self.arbiter.decision.filter_stats(),
+        )
+
+
+def build_rtl_platform(
+    workload: Workload,
+    config: Optional[AhbPlusConfig] = None,
+    trace: bool = False,
+) -> RtlPlatform:
+    """Assemble the pin-accurate AHB+ platform for *workload*."""
+    cfg = config_for_workload(workload, config)
+    engine = CycleEngine(name=f"rtl:{workload.name}")
+    agents = workload.build_masters()
+
+    bus = SharedBusSignals(bus_width_bits=cfg.bus_width_bytes * 8)
+    bi = BiSignals()
+    master_sigs = [MasterSignals(i) for i in range(cfg.num_masters)]
+    buffer_sig = MasterSignals(cfg.num_masters)  # the buffer's bus identity
+
+    qos = QosRegisterFile(cfg.num_masters)
+    for master, setting in cfg.qos.items():
+        qos.configure(master, setting)
+    write_buffer = WriteBuffer(
+        depth=cfg.write_buffer_depth, enabled=cfg.write_buffer_enabled
+    )
+
+    ddrc = DdrcRtl(
+        bus=bus,
+        bi=bi,
+        engine=engine,
+        timing=cfg.ddr_timing,
+        bus_bytes=cfg.bus_width_bytes,
+        refresh_enabled=cfg.refresh_enabled,
+    )
+    masters = [
+        MasterRtl(agent, master_sigs[agent.index], bus, engine)
+        for agent in agents
+    ]
+    buffer_master = BufferMasterRtl(
+        write_buffer, cfg.num_masters, buffer_sig, bus, engine
+    )
+    arbiter = ArbiterRtl(
+        masters=masters,
+        buffer_master=buffer_master,
+        write_buffer=write_buffer,
+        qos=qos,
+        config=cfg,
+        bus=bus,
+        bi=bi,
+        engine=engine,
+        ddrc_score=ddrc.access_score,
+    )
+    BusMux([*master_sigs, buffer_sig], bus, engine)
+
+    # Register every signal and the sequential processes.  Order matters
+    # only where components call each other directly: the arbiter's
+    # write-buffer absorption must run before the masters' own updates.
+    engine.add_signal(*all_signals([*master_sigs, buffer_sig], bus, bi))
+    engine.add_sequential(arbiter.update)
+    engine.add_sequential(ddrc.update)
+    engine.add_sequential(buffer_master.update)
+    for master in masters:
+        engine.add_sequential(master.update)
+
+    tracer: Optional[VcdTracer] = None
+    if trace:
+        tracer = VcdTracer()
+        tracer.add_signals(all_signals([*master_sigs, buffer_sig], bus, bi))
+        engine.add_cycle_hook(tracer.sample)
+
+    return RtlPlatform(
+        workload=workload,
+        config=cfg,
+        engine=engine,
+        agents=agents,
+        masters=masters,
+        buffer_master=buffer_master,
+        write_buffer=write_buffer,
+        arbiter=arbiter,
+        ddrc=ddrc,
+        qos=qos,
+        bus=bus,
+        bi=bi,
+        tracer=tracer,
+    )

@@ -1,0 +1,124 @@
+"""RTL face of the write buffer: the drain pseudo-master.
+
+The buffer storage and absorb/hazard logic are the shared
+:class:`~repro.core.write_buffer.WriteBuffer`; this component gives the
+buffer its bus personality — "the write buffer behaves as another
+master when it is occupied" (paper §3.3).  It requests the bus whenever
+the FIFO holds writes, drives the drain's address and data phases, and
+pops the FIFO as each drain's address phase is accepted (so arbitration
+during the drain sees the *next* entry, matching the TLM).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.ahb.transaction import Transaction
+from repro.ahb.types import HTrans
+from repro.core.write_buffer import WriteBuffer
+from repro.kernel.cycle import CycleEngine
+from repro.rtl.signals import MasterSignals, SharedBusSignals
+
+
+class DrainState(enum.Enum):
+    IDLE = "idle"
+    REQUEST = "request"
+    DATA = "data"
+
+
+class BufferMasterRtl:
+    """Signal-level drain engine of the AHB+ write buffer."""
+
+    def __init__(
+        self,
+        write_buffer: WriteBuffer,
+        index: int,
+        signals: MasterSignals,
+        bus: SharedBusSignals,
+        engine: CycleEngine,
+    ) -> None:
+        self.write_buffer = write_buffer
+        self.index = index  # owner index on the shared bus (num_masters)
+        self.sig = signals
+        self.bus = bus
+        self.engine = engine
+        self.state = DrainState.IDLE
+        self._txn: Optional[Transaction] = None
+        self._beat = 0
+        engine.add_combinational(self.evaluate)
+
+    @property
+    def current_transaction(self) -> Optional[Transaction]:
+        """The drain heading for the bus (the buffer's HBUSREQ payload)."""
+        if self.state is DrainState.REQUEST:
+            return self._txn
+        return None
+
+    @property
+    def done(self) -> bool:
+        return self.state is DrainState.IDLE and self.write_buffer.is_empty
+
+    def _drives_address_now(self) -> bool:
+        return (
+            self.state is DrainState.REQUEST
+            and bool(self.sig.hgrant.value)
+            and bool(self.bus.bus_available.value)
+        )
+
+    # -- combinational ------------------------------------------------------------
+
+    def evaluate(self) -> None:
+        txn = self._txn
+        self.sig.hbusreq.drive(self.state is DrainState.REQUEST)
+        if self._drives_address_now():
+            assert txn is not None
+            self.sig.htrans.drive(int(HTrans.NONSEQ))
+            self.sig.haddr.drive(txn.addr)
+            self.sig.hwrite.drive(1)
+            self.sig.hburst.drive(int(txn.burst))
+            self.sig.hlen.drive(txn.beats)
+            self.sig.hsize.drive(int(txn.hsize))
+        else:
+            self.sig.htrans.drive(int(HTrans.IDLE))
+        if (
+            self.state is DrainState.DATA
+            and txn is not None
+            and self._beat < txn.beats
+        ):
+            self.sig.hwdata.drive(txn.data[self._beat] if txn.data else 0)
+
+    # -- sequential ------------------------------------------------------------------
+
+    def update(self) -> None:
+        now = self.engine.cycle
+        if self.state is DrainState.DATA:
+            txn = self._txn
+            assert txn is not None
+            if (
+                bool(self.bus.hready.value)
+                and self.bus.stream_owner.value == self.index
+            ):
+                self._beat += 1
+                if self._beat >= txn.beats:
+                    txn.finished_at = now
+                    if txn.origin is not None:
+                        txn.origin.drained_at = now
+                    self._txn = None
+                    self.state = DrainState.IDLE
+        elif self.state is DrainState.REQUEST:
+            if self._drives_address_now():
+                txn = self._txn
+                assert txn is not None
+                txn.granted_at = now
+                txn.started_at = now
+                # Pop as the transfer starts so later arbitration rounds
+                # see the next FIFO entry (matches the TLM engines).
+                self.write_buffer.pop_head(txn)
+                self.state = DrainState.DATA
+                self._beat = 0
+        if self.state is DrainState.IDLE:
+            head = self.write_buffer.head()
+            if head is not None:
+                self._txn = head
+                self.state = DrainState.REQUEST

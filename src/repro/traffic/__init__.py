@@ -1,0 +1,55 @@
+"""Synthetic traffic: patterns, seeded generators, workload suites, traces."""
+
+from repro.traffic.generator import generate_items, stream_items
+from repro.traffic.patterns import (
+    AUDIO,
+    CPU,
+    DMA,
+    NAMED_PATTERNS,
+    RANDOM,
+    VIDEO,
+    WRITER,
+    TrafficPattern,
+    named_pattern,
+)
+from repro.traffic.trace import TraceRecord, TraceRecorder, load_trace, replay_items
+from repro.traffic.workloads import (
+    MasterSpec,
+    Workload,
+    bank_striped_workload,
+    saturating_workload,
+    single_master_workload,
+    table1_pattern_a,
+    table1_pattern_b,
+    table1_pattern_c,
+    table1_workloads,
+    write_heavy_workload,
+)
+
+__all__ = [
+    "AUDIO",
+    "CPU",
+    "DMA",
+    "MasterSpec",
+    "NAMED_PATTERNS",
+    "RANDOM",
+    "TraceRecord",
+    "TraceRecorder",
+    "TrafficPattern",
+    "VIDEO",
+    "WRITER",
+    "Workload",
+    "bank_striped_workload",
+    "generate_items",
+    "load_trace",
+    "named_pattern",
+    "replay_items",
+    "saturating_workload",
+    "single_master_workload",
+    "stream_items",
+    "table1_pattern_a",
+    "table1_pattern_b",
+    "table1_pattern_c",
+    "table1_workloads",
+    "write_heavy_workload",
+]

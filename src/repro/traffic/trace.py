@@ -1,0 +1,132 @@
+"""Transaction trace record / replay.
+
+Recording a run produces a portable trace (plain dicts, JSON-lines
+serialisable) that can be replayed as master traffic later — the
+workflow used to archive a scenario, to diff two models transaction by
+transaction, or to feed a captured stream back into a different
+configuration.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, TextIO
+
+from repro.ahb.master import TrafficItem
+from repro.ahb.transaction import Transaction
+from repro.ahb.types import AccessKind
+from repro.errors import TrafficError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One archived transaction."""
+
+    master: int
+    kind: str
+    addr: int
+    beats: int
+    size_bytes: int
+    wrapping: bool
+    data: List[int]
+    issued_at: int
+    granted_at: int
+    started_at: int
+    finished_at: int
+    via_write_buffer: bool
+
+    @classmethod
+    def from_transaction(cls, txn: Transaction) -> "TraceRecord":
+        return cls(
+            master=txn.master,
+            kind=txn.kind.value,
+            addr=txn.addr,
+            beats=txn.beats,
+            size_bytes=txn.size_bytes,
+            wrapping=txn.wrapping,
+            data=list(txn.data),
+            issued_at=txn.issued_at,
+            granted_at=txn.granted_at,
+            started_at=txn.started_at,
+            finished_at=txn.finished_at,
+            via_write_buffer=txn.via_write_buffer,
+        )
+
+
+class TraceRecorder:
+    """Bus observer that archives every completed transaction."""
+
+    def __init__(self) -> None:
+        self.records: List[TraceRecord] = []
+
+    def __call__(
+        self, txn: Transaction, grant: int, start: int, finish: int
+    ) -> None:
+        """Observer hook matching the bus observer signature."""
+        self.records.append(TraceRecord.from_transaction(txn))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def by_master(self) -> Dict[int, List[TraceRecord]]:
+        """Records grouped by issuing master, in completion order."""
+        grouped: Dict[int, List[TraceRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.master, []).append(record)
+        return grouped
+
+    def dump(self, stream: TextIO) -> int:
+        """Write JSON-lines; returns the record count."""
+        for record in self.records:
+            stream.write(json.dumps(asdict(record)) + "\n")
+        return len(self.records)
+
+
+def load_trace(stream: TextIO) -> List[TraceRecord]:
+    """Read a JSON-lines trace produced by :meth:`TraceRecorder.dump`."""
+    records = []
+    for line_no, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+            records.append(TraceRecord(**payload))
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise TrafficError(f"malformed trace line {line_no}: {exc}") from exc
+    return records
+
+
+def replay_items(
+    records: Iterable[TraceRecord],
+    master: int,
+    preserve_issue_times: bool = True,
+) -> List[TrafficItem]:
+    """Convert archived records of one master back into traffic items.
+
+    With ``preserve_issue_times`` the original issue cycles become
+    ``not_before`` constraints (open-loop replay); otherwise the replay
+    is back-to-back closed-loop.
+    """
+    items: List[TrafficItem] = []
+    for record in records:
+        if record.master != master:
+            continue
+        txn = Transaction(
+            master=master,
+            kind=AccessKind(record.kind),
+            addr=record.addr,
+            beats=record.beats,
+            size_bytes=record.size_bytes,
+            wrapping=record.wrapping,
+            data=list(record.data),
+        )
+        items.append(
+            TrafficItem(
+                txn=txn,
+                think_cycles=0,
+                not_before=record.issued_at if preserve_issue_times else None,
+            )
+        )
+    return items

@@ -1,0 +1,244 @@
+"""Named workload suites, including the Table 1 reproduction set.
+
+A :class:`Workload` binds traffic patterns, per-master transaction
+counts and QoS settings into a reproducible multi-master scenario.  The
+three Table 1 suites vary the master mix the way the paper varied its
+traffic patterns:
+
+* ``pattern_a`` — burst-heavy (DMA-dominated, high locality),
+* ``pattern_b`` — random-heavy (poor locality, many row conflicts),
+* ``pattern_c`` — mixed RT/NRT (streaming masters with deadlines under
+  CPU + writer interference).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ahb.master import TlmMaster
+from repro.core.qos import QosSetting
+from repro.errors import TrafficError
+from repro.traffic.generator import generate_items
+from repro.traffic.patterns import (
+    AUDIO,
+    CPU,
+    DMA,
+    RANDOM,
+    VIDEO,
+    WRITER,
+    TrafficPattern,
+)
+
+
+@dataclass(frozen=True)
+class MasterSpec:
+    """One master's role inside a workload."""
+
+    name: str
+    pattern: TrafficPattern
+    transactions: int
+    qos: QosSetting = field(default_factory=QosSetting)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete, seeded multi-master scenario."""
+
+    name: str
+    masters: Tuple[MasterSpec, ...]
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.masters:
+            raise TrafficError("workload needs at least one master")
+
+    @property
+    def num_masters(self) -> int:
+        return len(self.masters)
+
+    @property
+    def total_transactions(self) -> int:
+        return sum(spec.transactions for spec in self.masters)
+
+    def qos_map(self) -> Dict[int, QosSetting]:
+        """Master-index → QoS setting map for the platform config."""
+        return {
+            index: spec.qos
+            for index, spec in enumerate(self.masters)
+            if spec.qos.real_time
+        }
+
+    def build_masters(self) -> List[TlmMaster]:
+        """Instantiate fresh traffic agents (one run's worth)."""
+        agents: List[TlmMaster] = []
+        for index, spec in enumerate(self.masters):
+            items = generate_items(spec.pattern, index, spec.transactions, self.seed)
+            agents.append(TlmMaster(index, spec.name, items))
+        return agents
+
+    def scaled(self, factor: float) -> "Workload":
+        """Same mix with transaction counts scaled by *factor*."""
+        masters = tuple(
+            replace(spec, transactions=max(1, int(spec.transactions * factor)))
+            for spec in self.masters
+        )
+        return replace(self, masters=masters)
+
+    def with_seed(self, seed: int) -> "Workload":
+        """Same mix under a different seed."""
+        return replace(self, seed=seed)
+
+
+def _window(pattern: TrafficPattern, index: int, window: int = 1 << 20) -> TrafficPattern:
+    """Give each master a disjoint address window.
+
+    Disjoint windows keep the final memory image order-independent, so
+    functional equivalence between abstraction levels is a strict check
+    even when arbitration orders differ slightly.
+    """
+    return replace(pattern, base_addr=index * window, addr_span=window)
+
+
+def table1_pattern_a(transactions: int = 250, seed: int = 11) -> Workload:
+    """Burst-heavy suite: three DMA-style movers and one CPU."""
+    specs = (
+        MasterSpec("cpu0", _window(CPU, 0), transactions),
+        MasterSpec("dma0", _window(DMA, 1), transactions),
+        MasterSpec("dma1", _window(DMA, 2), transactions),
+        MasterSpec("dma2", _window(DMA, 3), transactions),
+    )
+    return Workload("pattern_a", specs, seed)
+
+
+def table1_pattern_b(transactions: int = 250, seed: int = 22) -> Workload:
+    """Random-heavy suite: poor locality, short transfers."""
+    specs = (
+        MasterSpec("rand0", _window(RANDOM, 0), transactions),
+        MasterSpec("rand1", _window(RANDOM, 1), transactions),
+        MasterSpec("cpu0", _window(CPU, 2), transactions),
+        MasterSpec("writer0", _window(WRITER, 3), transactions),
+    )
+    return Workload("pattern_b", specs, seed)
+
+
+def table1_pattern_c(transactions: int = 250, seed: int = 33) -> Workload:
+    """Mixed RT/NRT suite: streaming masters with QoS under interference."""
+    specs = (
+        MasterSpec(
+            "video0",
+            _window(VIDEO, 0),
+            transactions,
+            QosSetting(real_time=True, objective_cycles=180),
+        ),
+        MasterSpec(
+            "audio0",
+            _window(AUDIO, 1),
+            transactions,
+            QosSetting(real_time=True, objective_cycles=160),
+        ),
+        MasterSpec("cpu0", _window(CPU, 2), transactions),
+        MasterSpec("writer0", _window(WRITER, 3), transactions),
+    )
+    return Workload("pattern_c", specs, seed)
+
+
+def table1_workloads(transactions: int = 250) -> List[Workload]:
+    """The three suites whose rows regenerate Table 1."""
+    return [
+        table1_pattern_a(transactions),
+        table1_pattern_b(transactions),
+        table1_pattern_c(transactions),
+    ]
+
+
+def single_master_workload(
+    transactions: int = 500, seed: int = 7, pattern: Optional[TrafficPattern] = None
+) -> Workload:
+    """One CPU master — the paper's 'pure bus performance' speed case."""
+    chosen = pattern if pattern is not None else CPU
+    return Workload(
+        "single_master",
+        (MasterSpec("solo", _window(chosen, 0), transactions),),
+        seed,
+    )
+
+
+def saturating_workload(
+    transactions: int = 300, seed: int = 5, rt_objective: int = 90
+) -> Workload:
+    """An RT stream fighting three greedy NRT masters (QoS experiment).
+
+    The video master sits at the *highest* master index, i.e. the lowest
+    fixed priority: the plain AHB arbiter starves it behind the DMA
+    engines, while the AHB+ urgency filter pre-empts on its deadline —
+    exactly the paper's motivation ("AMBA2.0 ... cannot guarantee
+    master's QoS").
+    """
+    hungry = replace(DMA, think_range=(0, 0), burst_mix=((16, 1.0),))
+    video = replace(
+        VIDEO, period=120, deadline_offset=rt_objective, burst_mix=((8, 1.0),)
+    )
+    # The NRT movers carry several times the RT stream's transaction
+    # count so the bus stays saturated for the whole RT window.
+    specs = (
+        MasterSpec("dma0", _window(hungry, 0), transactions * 5),
+        MasterSpec("dma1", _window(hungry, 1), transactions * 5),
+        MasterSpec("dma2", _window(hungry, 2), transactions * 5),
+        MasterSpec(
+            "video0",
+            _window(video, 3),
+            transactions,
+            QosSetting(real_time=True, objective_cycles=rt_objective),
+        ),
+    )
+    return Workload("saturating", specs, seed)
+
+
+def write_heavy_workload(transactions: int = 300, seed: int = 9) -> Workload:
+    """Write-dominated mix (write-buffer experiment)."""
+    specs = (
+        MasterSpec("writer0", _window(WRITER, 0), transactions),
+        MasterSpec("writer1", _window(WRITER, 1), transactions),
+        MasterSpec("cpu0", _window(CPU, 2), transactions),
+        MasterSpec("dma0", _window(DMA, 3), transactions),
+    )
+    return Workload("write_heavy", specs, seed)
+
+
+def bank_striped_workload(
+    transactions: int = 300,
+    seed: int = 13,
+    row_bytes: int = 1 << 12,
+    num_banks: int = 4,
+    rows: int = 64,
+) -> Workload:
+    """Masters row-striding inside private banks (interleaving experiment).
+
+    Master *i* owns bank *i* and advances one full DDR row per access,
+    so *every* access opens a new row.  Without the Bus Interface each
+    row open serialises behind the previous data transfer; with the BI
+    the arbiter's next-transaction info lets the DDRC overlap the
+    precharge/activate with the in-flight burst — the paper's bank
+    interleaving.  (Defaults match the DDR_266 geometry: 4 KiB rows,
+    4 banks.)
+    """
+    row_group = row_bytes * num_banks  # bytes between consecutive rows of a bank
+
+    def striped(index: int) -> TrafficPattern:
+        return replace(
+            DMA,
+            base_addr=index * row_bytes,
+            addr_span=(rows - 1) * row_group + row_bytes,
+            sequential_fraction=1.0,
+            stride_bytes=row_group,
+            burst_mix=((16, 1.0),),
+            think_range=(0, 0),
+            read_fraction=1.0,
+        )
+
+    specs = tuple(
+        MasterSpec(f"stream{i}", striped(i), transactions)
+        for i in range(num_banks)
+    )
+    return Workload("bank_striped", specs, seed)

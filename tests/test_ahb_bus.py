@@ -1,0 +1,130 @@
+"""Tests for the plain AMBA 2.0 baseline bus."""
+
+import pytest
+
+from repro.ahb.arbiter import (
+    FixedPriorityArbiter,
+    RoundRobinArbiter,
+    make_baseline_arbiter,
+)
+from repro.ahb.bus import PlainAhbBus
+from repro.ahb.decoder import single_slave_map
+from repro.ahb.master import TlmMaster, TrafficItem
+from repro.ahb.slave import SramSlave
+from repro.ahb.transaction import Transaction
+from repro.ahb.types import AccessKind
+from repro.errors import ConfigError
+
+
+def agent(index, *items):
+    return TlmMaster(index, f"m{index}", list(items))
+
+
+def item(master, addr, kind=AccessKind.READ, beats=1, think=0, data=None):
+    txn = Transaction(
+        master=master,
+        kind=kind,
+        addr=addr,
+        beats=beats,
+        data=list(data) if data else [],
+    )
+    return TrafficItem(txn, think_cycles=think)
+
+
+class TestBaselineArbiters:
+    def _cands(self, *masters):
+        return [
+            Transaction(master=m, kind=AccessKind.READ, addr=0) for m in masters
+        ]
+
+    def test_fixed_priority(self):
+        arb = FixedPriorityArbiter()
+        assert arb.choose(self._cands(2, 0, 1), now=0).master == 0
+
+    def test_round_robin_rotates(self):
+        arb = RoundRobinArbiter(num_masters=3)
+        first = arb.choose(self._cands(0, 1, 2), now=0)
+        second = arb.choose(self._cands(0, 1, 2), now=1)
+        third = arb.choose(self._cands(0, 1, 2), now=2)
+        assert [first.master, second.master, third.master] == [0, 1, 2]
+
+    def test_factory(self):
+        assert make_baseline_arbiter("fixed", 4).name == "fixed-priority"
+        assert make_baseline_arbiter("round_robin", 4).name == "round-robin"
+        with pytest.raises(ConfigError):
+            make_baseline_arbiter("lottery", 4)
+
+
+class TestPlainAhbBus:
+    def test_single_master_runs_to_completion(self):
+        bus = PlainAhbBus(
+            [agent(0, item(0, 0x0, AccessKind.WRITE, 2, data=[1, 2]),
+                   item(0, 0x0, beats=2, think=1))],
+            [SramSlave()],
+            single_slave_map(),
+        )
+        result = bus.run()
+        assert result.transactions == 2
+        assert bus.masters[0].completed[1].data == [1, 2]
+
+    def test_fixed_priority_ordering(self):
+        low = agent(0, item(0, 0x10))
+        high = agent(1, item(1, 0x20))
+        bus = PlainAhbBus([low, high], [SramSlave()], single_slave_map())
+        bus.run()
+        assert low.completed[0].finished_at < high.completed[0].finished_at
+
+    def test_idle_gap_advances_time(self):
+        bus = PlainAhbBus(
+            [agent(0, item(0, 0x0), item(0, 0x4, think=50))],
+            [SramSlave()],
+            single_slave_map(),
+        )
+        result = bus.run()
+        assert result.cycles > 50
+        assert result.utilization < 0.5
+
+    def test_observer_called_per_transaction(self):
+        seen = []
+        bus = PlainAhbBus(
+            [agent(0, item(0, 0x0), item(0, 0x4))],
+            [SramSlave()],
+            single_slave_map(),
+        )
+        bus.add_observer(lambda txn, g, s, f: seen.append((txn.uid, g, s, f)))
+        bus.run()
+        assert len(seen) == 2
+        for _uid, grant, start, finish in seen:
+            assert grant <= start <= finish
+
+    def test_max_cycles_stops_early(self):
+        items = [item(0, 4 * i, think=10) for i in range(50)]
+        bus = PlainAhbBus([agent(0, *items)], [SramSlave()], single_slave_map())
+        result = bus.run(max_cycles=30)
+        assert result.transactions < 50
+
+    def test_arbitration_latency_counted(self):
+        fast = PlainAhbBus(
+            [agent(0, item(0, 0x0))],
+            [SramSlave()],
+            single_slave_map(),
+            arbitration_cycles=0,
+        )
+        slow = PlainAhbBus(
+            [agent(0, item(0, 0x0))],
+            [SramSlave()],
+            single_slave_map(),
+            arbitration_cycles=5,
+        )
+        assert slow.run().cycles == fast.run().cycles + 5
+
+    def test_empty_masters_rejected(self):
+        with pytest.raises(ConfigError):
+            PlainAhbBus([], [SramSlave()], single_slave_map())
+
+    def test_per_master_counts(self):
+        a = agent(0, item(0, 0x0), item(0, 0x8))
+        b = agent(1, item(1, 0x100))
+        bus = PlainAhbBus([a, b], [SramSlave()], single_slave_map())
+        result = bus.run()
+        assert result.per_master_transactions == [2, 1]

@@ -1,0 +1,158 @@
+"""Tests for the AHB+ arbiter and write buffer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ahb.transaction import WRITE_BUFFER_MASTER, Transaction
+from repro.ahb.types import AccessKind
+from repro.core.arbiter import AhbPlusArbiter
+from repro.core.filters import ArbitrationContext, Candidate, TieBreakFilter
+from repro.core.write_buffer import WriteBuffer
+from repro.errors import ConfigError, SimulationError
+
+
+def write(master=0, addr=0x0, data=(1,), locked=False):
+    return Transaction(
+        master=master,
+        kind=AccessKind.WRITE,
+        addr=addr,
+        beats=len(data),
+        data=list(data),
+        locked=locked,
+    )
+
+
+def read(master=0, addr=0x0, beats=1):
+    return Transaction(master=master, kind=AccessKind.READ, addr=addr, beats=beats)
+
+
+def cand(t, rt=False, deadline=None, wb=False):
+    t.issued_at = max(t.issued_at, 0)
+    return Candidate(txn=t, from_write_buffer=wb, real_time=rt, deadline=deadline)
+
+
+class TestAhbPlusArbiter:
+    def test_returns_single_winner(self):
+        arb = AhbPlusArbiter(num_masters=4)
+        winner = arb.choose(
+            [cand(read(2)), cand(read(0)), cand(read(1))],
+            ArbitrationContext(now=0),
+        )
+        assert winner.master == 0
+
+    def test_urgent_rt_preempts(self):
+        arb = AhbPlusArbiter(num_masters=4)
+        winner = arb.choose(
+            [cand(read(0)), cand(read(3), rt=True, deadline=20)],
+            ArbitrationContext(now=0, urgency_margin=32),
+        )
+        assert winner.master == 3
+
+    def test_no_candidates_raises(self):
+        with pytest.raises(SimulationError):
+            AhbPlusArbiter(num_masters=2).choose([], ArbitrationContext(now=0))
+
+    def test_disable_filter_by_name(self):
+        arb = AhbPlusArbiter(num_masters=2)
+        arb.set_filter_enabled("real-time", False)
+        assert not arb.filter_by_name("real-time").enabled
+
+    def test_tie_break_cannot_be_disabled(self):
+        arb = AhbPlusArbiter(num_masters=2)
+        with pytest.raises(ConfigError):
+            arb.set_filter_enabled("tie-break", False)
+
+    def test_unknown_filter_rejected(self):
+        with pytest.raises(ConfigError):
+            AhbPlusArbiter(num_masters=2).set_filter_enabled("ouija", True)
+
+    def test_chain_must_end_with_tie_break(self):
+        with pytest.raises(ConfigError):
+            AhbPlusArbiter(filters=[TieBreakFilter(), TieBreakFilter()][:1][:0])
+
+    def test_filter_stats_exposed(self):
+        arb = AhbPlusArbiter(num_masters=2)
+        arb.choose([cand(read(0)), cand(read(1))], ArbitrationContext(now=0))
+        stats = arb.filter_stats()
+        assert stats["tie-break"]["applied"] == 1
+        assert arb.rounds == 1
+
+
+class TestWriteBuffer:
+    def test_absorb_and_fifo_drain(self):
+        buffer = WriteBuffer(depth=4)
+        d1 = buffer.absorb(write(0, 0x0, (1,)), 5)
+        d2 = buffer.absorb(write(1, 0x10, (2,)), 6)
+        assert buffer.occupancy == 2
+        assert buffer.head() is d1
+        buffer.pop_head(d1)
+        assert buffer.head() is d2
+        assert d1.master == WRITE_BUFFER_MASTER
+        assert d1.origin is not None
+
+    def test_reject_reads_and_locked(self):
+        buffer = WriteBuffer()
+        assert not buffer.can_absorb(read())
+        assert not buffer.can_absorb(write(locked=True))
+
+    def test_full_rejects(self):
+        buffer = WriteBuffer(depth=1)
+        buffer.absorb(write(), 0)
+        assert buffer.is_full
+        assert not buffer.can_absorb(write())
+        assert buffer.rejected_full == 1
+
+    def test_disabled_rejects(self):
+        assert not WriteBuffer(enabled=False).can_absorb(write())
+
+    def test_absorb_unqualified_raises(self):
+        with pytest.raises(SimulationError):
+            WriteBuffer().absorb(read(), 0)
+
+    def test_out_of_order_pop_raises(self):
+        buffer = WriteBuffer()
+        buffer.absorb(write(0), 0)
+        d2 = buffer.absorb(write(1, 0x20), 0)
+        with pytest.raises(SimulationError):
+            buffer.pop_head(d2)
+
+    def test_hazard_detection_overlap(self):
+        buffer = WriteBuffer()
+        buffer.absorb(write(0, 0x100, (1, 2, 3, 4)), 0)
+        overlapping = read(1, 0x108)
+        disjoint = read(1, 0x200)
+        assert buffer.conflicts_with(overlapping)
+        assert not buffer.conflicts_with(disjoint)
+        assert buffer.hazard_hits == 1
+
+    def test_writes_never_hazard(self):
+        buffer = WriteBuffer()
+        buffer.absorb(write(0, 0x100), 0)
+        assert not buffer.conflicts_with(write(1, 0x100))
+
+    def test_stats(self):
+        buffer = WriteBuffer(depth=2)
+        d = buffer.absorb(write(), 0)
+        buffer.absorb(write(1, 0x40), 0)
+        buffer.pop_head(d)
+        assert buffer.absorbed == 2
+        assert buffer.drained == 1
+        assert buffer.max_occupancy == 2
+
+    def test_bad_depth(self):
+        with pytest.raises(ConfigError):
+            WriteBuffer(depth=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=20))
+    def test_drain_order_matches_absorb_order(self, addr_words):
+        buffer = WriteBuffer(depth=len(addr_words))
+        drains = [
+            buffer.absorb(write(0, w * 4, (w,)), cycle)
+            for cycle, w in enumerate(addr_words)
+        ]
+        popped = []
+        while not buffer.is_empty:
+            head = buffer.head()
+            popped.append(head)
+            buffer.pop_head(head)
+        assert popped == drains

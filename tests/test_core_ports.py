@@ -1,0 +1,91 @@
+"""Tests for the transaction-port API (paper sections 3.1-3.2)."""
+
+import pytest
+
+from repro.core.config import AhbPlusConfig
+from repro.core.ports import InteractiveAhbPlus, PortStatus
+from repro.ddr.controller import DdrControllerTlm
+from repro.ddr.timing import DDR_TEST
+from repro.errors import ConfigError
+
+
+def system(**cfg_kwargs):
+    cfg_kwargs.setdefault("num_masters", 2)
+    ddrc = DdrControllerTlm(timing=DDR_TEST, refresh_enabled=False)
+    return InteractiveAhbPlus(ddrc, AhbPlusConfig(**cfg_kwargs))
+
+
+class TestTransactionPort:
+    def test_check_grant_true_on_idle_bus(self):
+        sys = system()
+        assert sys.port(0).check_grant() is True
+
+    def test_read_returns_ok_and_data(self):
+        sys = system()
+        port = sys.port(0)
+        port.write(0x40, [7, 8], posted=False)
+        status, data = port.read(0x40, beats=2)
+        assert status is PortStatus.OK
+        assert data == [7, 8]
+
+    def test_posted_write_returns_immediately(self):
+        sys = system()
+        port = sys.port(0)
+        before = sys.now
+        status = port.write(0x80, [1], posted=True)
+        assert status is PortStatus.POSTED
+        assert sys.now == before  # no bus cycles consumed
+        assert port.posted_writes == 1
+
+    def test_posted_write_then_read_drains_first(self):
+        sys = system()
+        port = sys.port(0)
+        port.write(0x100, [42], posted=True)
+        status, data = port.read(0x100)
+        assert status is PortStatus.OK
+        assert data == [42]
+
+    def test_drain_write_buffer(self):
+        sys = system()
+        port = sys.port(0)
+        port.write(0x0, [1], posted=True)
+        port.write(0x20, [2], posted=True)
+        sys.drain_write_buffer()
+        assert sys.write_buffer.is_empty
+
+    def test_posted_falls_back_when_full(self):
+        sys = system(write_buffer_depth=1)
+        port = sys.port(0)
+        assert port.write(0x0, [1]) is PortStatus.POSTED
+        # Buffer full: second posted write rides the bus instead.
+        assert port.write(0x20, [2]) is PortStatus.OK
+
+    def test_clock_advances_with_traffic(self):
+        sys = system()
+        port = sys.port(0)
+        port.read(0x0, beats=4)
+        assert sys.now > 0
+
+    def test_idle_advances_clock(self):
+        sys = system()
+        sys.idle(100)
+        assert sys.now == 100
+        with pytest.raises(ConfigError):
+            sys.idle(-1)
+
+    def test_port_index_validated(self):
+        sys = system()
+        with pytest.raises(ConfigError):
+            sys.port(9)
+
+    def test_port_instances_are_cached(self):
+        sys = system()
+        assert sys.port(1) is sys.port(1)
+
+    def test_time_monotonic_across_ports(self):
+        sys = system()
+        a, b = sys.port(0), sys.port(1)
+        a.read(0x0)
+        t1 = sys.now
+        b.read(0x1000)
+        assert sys.now > t1

@@ -1,0 +1,80 @@
+"""Method-based vs thread-based engine equivalence (paper §4).
+
+The two engines implement identical bus semantics; these tests pin that
+down: same cycle counts, same per-master transaction streams, same
+final memory — across several workloads and seeds.  The speed benchmark
+then shows the method engine is faster for *free*, i.e. purely from
+engine overhead.
+"""
+
+import pytest
+
+from repro.core import build_tlm_platform
+from repro.core.platform import config_for_workload
+from repro.errors import ConfigError
+from repro.traffic import (
+    bank_striped_workload,
+    saturating_workload,
+    single_master_workload,
+    table1_pattern_a,
+    table1_pattern_b,
+    table1_pattern_c,
+    write_heavy_workload,
+)
+
+from dataclasses import replace
+
+WORKLOADS = [
+    single_master_workload(40),
+    table1_pattern_a(40),
+    table1_pattern_b(40),
+    table1_pattern_c(40),
+    write_heavy_workload(40),
+    bank_striped_workload(40),
+    saturating_workload(15),
+    table1_pattern_a(40, seed=999),
+]
+
+
+@pytest.mark.parametrize("workload", WORKLOADS, ids=lambda w: f"{w.name}-{w.seed}")
+def test_thread_engine_matches_method_engine(workload):
+    method = build_tlm_platform(workload, engine="method")
+    method_result = method.run()
+    thread = build_tlm_platform(workload, engine="thread")
+    thread_result = thread.run()
+
+    assert thread_result.cycles == method_result.cycles
+    assert thread_result.transactions == method_result.transactions
+    assert (
+        thread_result.per_master_transactions
+        == method_result.per_master_transactions
+    )
+    assert thread_result.absorbed_writes == method_result.absorbed_writes
+    assert thread_result.pipelined_grants == method_result.pipelined_grants
+    assert method.memory.equal_contents(thread.memory)
+
+    for m_agent, t_agent in zip(method.masters, thread.masters):
+        m_stream = [
+            (t.addr, t.kind.value, t.finished_at, tuple(t.data))
+            for t in m_agent.completed
+        ]
+        t_stream = [
+            (t.addr, t.kind.value, t.finished_at, tuple(t.data))
+            for t in t_agent.completed
+        ]
+        assert m_stream == t_stream
+
+
+def test_thread_engine_rejects_zero_lead():
+    workload = table1_pattern_a(5)
+    cfg = replace(config_for_workload(workload), pipeline_lead=0)
+    with pytest.raises(ConfigError):
+        build_tlm_platform(workload, config=cfg, engine="thread")
+
+
+def test_thread_engine_without_pipelining():
+    workload = table1_pattern_a(30)
+    cfg = replace(config_for_workload(workload), request_pipelining=False)
+    method = build_tlm_platform(workload, config=cfg, engine="method").run()
+    thread = build_tlm_platform(workload, config=cfg, engine="thread").run()
+    assert method.cycles == thread.cycles

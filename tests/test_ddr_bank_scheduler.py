@@ -1,0 +1,167 @@
+"""Tests for the bank FSM and the cycle-level command scheduler."""
+
+import pytest
+
+from repro.ddr.bank import BankFsm, BankState
+from repro.ddr.commands import BankAddress, DdrCommand
+from repro.ddr.scheduler import CommandScheduler, PendingAccess
+from repro.ddr.timing import DDR_TEST
+from repro.errors import SimulationError
+
+
+def ticked(bank, cycles):
+    for _ in range(cycles):
+        bank.tick()
+    return bank
+
+
+class TestBankFsm:
+    def test_activate_takes_trcd(self):
+        bank = BankFsm(0, DDR_TEST)
+        bank.activate(row=3)
+        assert bank.state is BankState.ACTIVATING
+        ticked(bank, DDR_TEST.t_rcd)
+        assert bank.state is BankState.ACTIVE
+        assert bank.can_cas(3)
+        assert not bank.can_cas(4)
+
+    def test_precharge_blocked_by_tras(self):
+        bank = BankFsm(0, DDR_TEST)
+        bank.activate(row=1)
+        ticked(bank, DDR_TEST.t_rcd)
+        assert not bank.can_precharge()
+        ticked(bank, DDR_TEST.t_ras - DDR_TEST.t_rcd)
+        assert bank.can_precharge()
+
+    def test_write_recovery_blocks_precharge(self):
+        bank = BankFsm(0, DDR_TEST)
+        bank.activate(row=1)
+        ticked(bank, DDR_TEST.t_ras)
+        bank.note_cas(is_write=True)
+        assert not bank.can_precharge()
+        ticked(bank, DDR_TEST.t_wr)
+        assert bank.can_precharge()
+
+    def test_note_write_beat_rearms_recovery(self):
+        bank = BankFsm(0, DDR_TEST)
+        bank.activate(row=1)
+        ticked(bank, DDR_TEST.t_ras)
+        bank.note_cas(is_write=True)
+        ticked(bank, DDR_TEST.t_wr - 1)
+        bank.note_write_beat()
+        assert not bank.can_precharge()
+
+    def test_precharge_then_idle(self):
+        bank = BankFsm(0, DDR_TEST)
+        bank.activate(row=1)
+        ticked(bank, DDR_TEST.t_ras)
+        bank.precharge()
+        assert bank.open_row is None
+        ticked(bank, DDR_TEST.t_rp)
+        assert bank.state is BankState.IDLE
+
+    def test_illegal_commands_raise(self):
+        bank = BankFsm(0, DDR_TEST)
+        with pytest.raises(SimulationError):
+            bank.precharge()
+        bank.activate(row=0)
+        with pytest.raises(SimulationError):
+            bank.activate(row=1)
+        with pytest.raises(SimulationError):
+            bank.refresh()
+
+    def test_refresh_cycle(self):
+        bank = BankFsm(0, DDR_TEST)
+        bank.refresh()
+        assert bank.state is BankState.REFRESHING
+        ticked(bank, DDR_TEST.t_rfc)
+        assert bank.state is BankState.IDLE
+
+
+def make_sched():
+    banks = [BankFsm(i, DDR_TEST) for i in range(DDR_TEST.num_banks)]
+    return CommandScheduler(DDR_TEST, banks), banks
+
+
+def access(bank=0, row=0, col=0, write=False, beats=4, uid=1):
+    return PendingAccess(
+        baddr=BankAddress(bank, row, col), is_write=write, beats=beats, uid=uid
+    )
+
+
+class TestCommandScheduler:
+    def run_until_cas(self, sched, limit=50):
+        for cycle in range(limit):
+            decision = sched.decide(refresh_forced=False, data_path_free=True)
+            sched.tick()
+            if decision.command in (DdrCommand.READ, DdrCommand.WRITE):
+                return cycle, decision
+        pytest.fail("no CAS issued")
+
+    def test_activate_then_cas(self):
+        sched, _ = make_sched()
+        sched.enqueue(access())
+        cycle, decision = self.run_until_cas(sched)
+        assert decision.command is DdrCommand.READ
+        # ACT at cycle 0, CAS once tRCD elapsed.
+        assert cycle == DDR_TEST.t_rcd
+
+    def test_row_conflict_precharges_first(self):
+        sched, banks = make_sched()
+        sched.enqueue(access(row=1, uid=1))
+        _, _ = self.run_until_cas(sched)
+        sched.retire_head()
+        sched.enqueue(access(row=2, uid=2))
+        commands = []
+        for _ in range(40):
+            decision = sched.decide(refresh_forced=False, data_path_free=True)
+            sched.tick()
+            commands.append(decision.command)
+            if decision.command in (DdrCommand.READ, DdrCommand.WRITE):
+                break
+        assert DdrCommand.PRECHARGE in commands
+
+    def test_interleaved_activation_of_second_bank(self):
+        sched, banks = make_sched()
+        sched.enqueue(access(bank=0, uid=1))
+        sched.enqueue(access(bank=1, uid=2))
+        # Wait for bank 0's CAS; bank 1's ACT should already have issued
+        # (row open for the pipelined next access = bank interleaving).
+        self.run_until_cas(sched)
+        assert banks[1].state in (BankState.ACTIVATING, BankState.ACTIVE)
+
+    def test_busy_bank_not_precharged(self):
+        sched, banks = make_sched()
+        sched.enqueue(access(bank=0, row=1, uid=1))
+        self.run_until_cas(sched)
+        # Conflicting access to the same bank while bank 0 streams.
+        sched.enqueue(access(bank=0, row=2, uid=2))
+        for _ in range(DDR_TEST.t_ras + 2):
+            decision = sched.decide(
+                refresh_forced=False, data_path_free=False, busy_bank=0
+            )
+            sched.tick()
+            assert decision.command is not DdrCommand.PRECHARGE
+
+    def test_refresh_forces_drain_and_refresh(self):
+        sched, banks = make_sched()
+        sched.enqueue(access(uid=1))
+        self.run_until_cas(sched)
+        sched.retire_head()
+        saw_refresh = False
+        for _ in range(60):
+            decision = sched.decide(refresh_forced=True, data_path_free=True)
+            sched.tick()
+            if decision.command is DdrCommand.REFRESH:
+                saw_refresh = True
+                break
+            assert decision.command in (
+                DdrCommand.PRECHARGE,
+                DdrCommand.NOP,
+            )
+        assert saw_refresh
+
+    def test_retire_empty_raises(self):
+        sched, _ = make_sched()
+        with pytest.raises(SimulationError):
+            sched.retire_head()

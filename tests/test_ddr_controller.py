@@ -1,0 +1,122 @@
+"""Tests for the transaction-level DDR controller."""
+
+import pytest
+
+from repro.ahb.transaction import Transaction
+from repro.ahb.types import AccessKind
+from repro.ddr.controller import DdrControllerTlm
+from repro.ddr.timing import DDR_TEST
+
+T = DDR_TEST
+
+
+def ddrc(**kwargs):
+    kwargs.setdefault("timing", T)
+    return DdrControllerTlm(**kwargs)
+
+
+def write(addr, data, master=0):
+    return Transaction(
+        master=master,
+        kind=AccessKind.WRITE,
+        addr=addr,
+        beats=len(data),
+        data=list(data),
+    )
+
+
+def read(addr, beats=1, master=0):
+    return Transaction(master=master, kind=AccessKind.READ, addr=addr, beats=beats)
+
+
+class TestDdrControllerTlm:
+    def test_write_read_roundtrip(self):
+        ctrl = ddrc()
+        finish = ctrl.serve(write(0x40, [1, 2, 3, 4]), 0)
+        r = read(0x40, beats=4)
+        ctrl.serve(r, finish + 1)
+        assert r.data == [1, 2, 3, 4]
+
+    def test_cold_access_timing(self):
+        ctrl = ddrc(refresh_enabled=False)
+        txn = read(0x0, beats=4)
+        finish = ctrl.serve(txn, 10)
+        # addr phase(1) + ACT + tRCD + CL + 4 beats
+        expected = 10 + 1 + T.t_rcd + T.cas_latency + 4 - 1
+        assert finish == expected
+
+    def test_row_hit_faster_than_conflict(self):
+        ctrl = ddrc(refresh_enabled=False)
+        f1 = ctrl.serve(read(0x0, beats=1), 0)
+        hit = read(0x4, beats=1)
+        f2 = ctrl.serve(hit, f1 + 1)
+        row_span = T.words_per_row * 4 * T.num_banks
+        conflict = read(row_span, beats=1)  # same bank, different row
+        f3 = ctrl.serve(conflict, f2 + 1)
+        assert (f3 - f2) > (f2 - f1)
+
+    def test_burst_crossing_rows_splits_segments(self):
+        ctrl = ddrc(refresh_enabled=False)
+        row_bytes = T.words_per_row * 4
+        addr = row_bytes - 8  # last two words of row 0
+        txn = write(addr, [1, 2, 3, 4])
+        finish = ctrl.serve(txn, 0)
+        check = read(addr, beats=4)
+        ctrl.serve(check, finish + 1)
+        assert check.data == [1, 2, 3, 4]
+
+    def test_notify_next_hides_activation(self):
+        baseline = ddrc(refresh_enabled=False)
+        f_first = baseline.serve(read(0x0, beats=8), 0)
+        cold = baseline.serve(read(T.words_per_row * 4, beats=1), f_first)
+
+        prepared = ddrc(refresh_enabled=False)
+        f_first2 = prepared.serve(read(0x0, beats=8), 0)
+        nxt = read(T.words_per_row * 4, beats=1)
+        prepared.notify_next(nxt, f_first2 - 4)  # BI info mid-burst
+        warm = prepared.serve(nxt, f_first2)
+        assert warm < cold
+        assert prepared.prepared_banks == 1
+
+    def test_refresh_amortized_at_boundaries(self):
+        ctrl = ddrc()  # refresh on
+        # Arrive while the owed refresh is still draining, so the access
+        # visibly waits behind it.
+        late = T.t_refi + 2
+        txn = read(0x0)
+        finish_with_refresh = ctrl.serve(txn, late)
+
+        no_refresh = ddrc(refresh_enabled=False)
+        finish_without = no_refresh.serve(read(0x0), late)
+        assert finish_with_refresh > finish_without
+        assert ctrl.refreshes == 1
+
+    def test_idle_until_catches_up_refreshes(self):
+        ctrl = ddrc()
+        ctrl.idle_until(T.t_refi * 3 + 5)
+        assert ctrl.refreshes == 3
+
+    def test_access_permitted_blocks_during_refresh(self):
+        ctrl = ddrc()
+        txn = read(0x0)
+        permitted = ctrl.access_permitted_at(txn, T.t_refi + 1)
+        assert permitted > T.t_refi + 1
+
+    def test_idle_banks_and_scores(self):
+        ctrl = ddrc(refresh_enabled=False)
+        assert ctrl.idle_banks(0) == (1 << T.num_banks) - 1
+        ctrl.serve(read(0x0), 0)
+        assert ctrl.access_score(0x0, 100) == 0  # row open
+        assert ctrl.idle_banks(100) != (1 << T.num_banks) - 1
+
+    def test_row_hit_rate(self):
+        ctrl = ddrc(refresh_enabled=False)
+        f = ctrl.serve(read(0x0), 0)
+        ctrl.serve(read(0x4), f + 1)
+        assert 0.0 < ctrl.row_hit_rate() <= 0.5 + 1e-9
+
+    def test_counters(self):
+        ctrl = ddrc(refresh_enabled=False)
+        f = ctrl.serve(write(0x0, [1]), 0)
+        ctrl.serve(read(0x0), f + 1)
+        assert ctrl.writes == 1 and ctrl.reads == 1 and ctrl.data_beats == 2

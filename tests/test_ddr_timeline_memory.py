@@ -1,0 +1,173 @@
+"""Tests for the analytic bank timeline and the memory model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ddr.commands import BankAddress
+from repro.ddr.memory import MemoryModel
+from repro.ddr.timeline import BankTimeline
+from repro.ddr.timing import DDR_TEST
+from repro.errors import MemoryError_
+
+T = DDR_TEST
+
+
+class TestBankTimeline:
+    def test_first_access_pays_act_plus_cas(self):
+        timeline = BankTimeline(T)
+        plan = timeline.schedule_access(BankAddress(0, 1, 0), False, 4, 10)
+        # ACT at 10, CAS at 10+tRCD, data CL later.
+        assert plan.cas_at == 10 + T.t_rcd
+        assert plan.first_data == plan.cas_at + T.cas_latency
+        assert plan.finish == plan.first_data + 3
+        assert not plan.row_hit
+
+    def test_row_hit_skips_row_commands(self):
+        timeline = BankTimeline(T)
+        first = timeline.schedule_access(BankAddress(0, 1, 0), False, 4, 10)
+        second = timeline.schedule_access(
+            BankAddress(0, 1, 4), False, 4, first.finish + 1
+        )
+        assert second.row_hit
+        assert second.cas_at == first.finish + 1
+
+    def test_row_conflict_pays_precharge(self):
+        timeline = BankTimeline(T)
+        first = timeline.schedule_access(BankAddress(0, 1, 0), False, 4, 0)
+        second = timeline.schedule_access(
+            BankAddress(0, 2, 0), False, 4, first.finish + 1
+        )
+        assert not second.row_hit
+        # PRE cannot start before the first burst's final beat + 1.
+        assert second.cas_at >= first.finish + 1 + T.t_rp + T.t_rcd
+
+    def test_write_recovery_delays_conflict(self):
+        timeline = BankTimeline(T)
+        first = timeline.schedule_access(BankAddress(0, 1, 0), True, 4, 0)
+        second = timeline.schedule_access(
+            BankAddress(0, 2, 0), False, 1, first.finish + 1
+        )
+        assert second.cas_at >= first.finish + T.t_wr + T.t_rp + T.t_rcd
+
+    def test_prepare_overlaps_activation(self):
+        timeline = BankTimeline(T)
+        first = timeline.schedule_access(BankAddress(0, 1, 0), False, 8, 0)
+        # BI prepares bank 1 while bank 0 streams.
+        assert timeline.prepare(BankAddress(1, 3, 0), cycle=first.cas_at + 1)
+        second = timeline.schedule_access(
+            BankAddress(1, 3, 0), False, 4, first.finish
+        )
+        assert second.row_hit
+        # Data continues seamlessly after the previous burst.
+        assert second.first_data <= first.finish + 1 + T.cas_latency
+
+    def test_prepare_noop_when_row_open(self):
+        timeline = BankTimeline(T)
+        timeline.schedule_access(BankAddress(0, 1, 0), False, 1, 0)
+        assert timeline.prepare(BankAddress(0, 1, 0), 50) is False
+
+    def test_data_bus_is_exclusive(self):
+        timeline = BankTimeline(T)
+        a = timeline.schedule_access(BankAddress(0, 1, 0), False, 8, 0)
+        b = timeline.schedule_access(BankAddress(1, 1, 0), False, 8, 0)
+        assert b.first_data > a.finish
+
+    def test_close_all_resets_rows(self):
+        timeline = BankTimeline(T)
+        timeline.schedule_access(BankAddress(0, 1, 0), False, 1, 0)
+        ready = timeline.close_all(100)
+        assert ready >= 100 + T.t_rp + T.t_rfc
+        assert all(lane.open_row is None for lane in timeline.banks)
+
+    def test_idle_banks_bitmap(self):
+        timeline = BankTimeline(T)
+        assert timeline.idle_banks(0) == 0b1111
+        timeline.schedule_access(BankAddress(2, 1, 0), False, 1, 0)
+        assert timeline.idle_banks(50) == 0b1011
+
+    def test_access_score(self):
+        timeline = BankTimeline(T)
+        timeline.schedule_access(BankAddress(0, 1, 0), False, 1, 0)
+        assert timeline.access_score(BankAddress(0, 1, 0), 50) == 0
+        assert timeline.access_score(BankAddress(1, 0, 0), 50) == 1
+        assert timeline.access_score(BankAddress(0, 9, 0), 50) == 2
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # bank
+                st.integers(min_value=0, max_value=7),   # row
+                st.booleans(),                           # write
+                st.integers(min_value=1, max_value=16),  # beats
+            ),
+            min_size=1,
+            max_size=24,
+        )
+    )
+    def test_data_bus_never_overlaps(self, accesses):
+        timeline = BankTimeline(T)
+        cycle = 0
+        windows = []
+        for bank, row, write, beats in accesses:
+            plan = timeline.schedule_access(
+                BankAddress(bank, row, 0), write, beats, cycle
+            )
+            assert plan.first_data >= cycle
+            assert plan.finish == plan.first_data + beats - 1
+            windows.append((plan.first_data, plan.finish))
+            cycle = plan.finish + 1
+        for (s1, f1), (s2, _f2) in zip(windows, windows[1:]):
+            assert s2 > f1
+
+
+class TestMemoryModel:
+    def test_roundtrip(self):
+        mem = MemoryModel()
+        mem.write(0x100, 4, 0xDEADBEEF)
+        assert mem.read(0x100, 4) == 0xDEADBEEF
+
+    def test_unwritten_reads_zero(self):
+        assert MemoryModel().read(0x40, 4) == 0
+
+    def test_partial_overlap_little_endian(self):
+        mem = MemoryModel()
+        mem.write(0x10, 4, 0x11223344)
+        assert mem.read(0x12, 1) == 0x22
+
+    def test_oversized_value_rejected(self):
+        with pytest.raises(MemoryError_):
+            MemoryModel().write(0, 2, 0x12345)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(MemoryError_):
+            MemoryModel().read(-4, 4)
+
+    def test_equality_and_difference(self):
+        a, b = MemoryModel(), MemoryModel()
+        a.write(0, 4, 5)
+        b.write(0, 4, 5)
+        assert a.equal_contents(b)
+        b.write(8, 1, 9)
+        assert not a.equal_contents(b)
+        addr, mine, theirs = a.first_difference(b)
+        assert (addr, mine, theirs) == (8, 0, 9)
+
+    def test_zero_equals_unwritten(self):
+        a, b = MemoryModel(), MemoryModel()
+        a.write(0, 4, 0)
+        assert a.equal_contents(b)
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=1000).map(lambda w: w * 4),
+            st.integers(min_value=0, max_value=2**32 - 1),
+            max_size=30,
+        )
+    )
+    def test_many_writes_roundtrip(self, writes):
+        mem = MemoryModel()
+        for addr, value in writes.items():
+            mem.write(addr, 4, value)
+        for addr, value in writes.items():
+            assert mem.read(addr, 4) == value

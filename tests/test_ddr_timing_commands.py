@@ -1,0 +1,86 @@
+"""Tests for DDR timing parameters and command/address decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ddr.commands import (
+    COMMAND_PRIORITY,
+    BankAddress,
+    DdrCommand,
+    bank_span,
+    decode_address,
+    encode_address,
+    same_row,
+)
+from repro.ddr.timing import DDR_266, DDR_TEST, DdrTiming, preset
+from repro.errors import ConfigError, MemoryError_
+
+
+class TestTiming:
+    def test_defaults_valid(self):
+        timing = DdrTiming()
+        assert timing.bank_bits == 2
+        assert timing.words_per_row == 1024
+
+    def test_presets(self):
+        assert preset("ddr266") is DDR_266
+        with pytest.raises(ConfigError):
+            preset("ddr9000")
+
+    def test_non_power_of_two_banks_rejected(self):
+        with pytest.raises(ConfigError):
+            DdrTiming(num_banks=3)
+
+    def test_zero_timing_rejected(self):
+        with pytest.raises(ConfigError):
+            DdrTiming(t_rcd=0)
+
+    def test_row_miss_penalty(self):
+        assert DDR_266.row_miss_penalty() == DDR_266.t_rp + DDR_266.t_rcd
+
+    def test_total_words(self):
+        assert DDR_TEST.total_words == 1 << (6 + 2 + 4)
+
+
+class TestAddressDecode:
+    def test_layout_row_bank_col(self):
+        timing = DDR_TEST  # col_bits=4, 2 bank bits
+        baddr = decode_address(0, timing)
+        assert baddr == BankAddress(bank=0, row=0, col=0)
+        # One full row of one bank later -> next bank.
+        one_bank = timing.words_per_row * 4  # bytes
+        assert decode_address(one_bank, timing).bank == 1
+
+    def test_beyond_capacity_rejected(self):
+        with pytest.raises(MemoryError_):
+            decode_address(DDR_TEST.total_words * 4, DDR_TEST)
+
+    def test_negative_rejected(self):
+        with pytest.raises(MemoryError_):
+            decode_address(-4, DDR_TEST)
+
+    @given(st.integers(min_value=0, max_value=DDR_TEST.total_words - 1))
+    def test_roundtrip(self, word):
+        addr = word * 4
+        baddr = decode_address(addr, DDR_TEST)
+        assert encode_address(baddr, DDR_TEST) == addr
+
+    def test_same_row(self):
+        a = BankAddress(1, 5, 0)
+        assert same_row(a, BankAddress(1, 5, 9))
+        assert not same_row(a, BankAddress(2, 5, 0))
+
+    def test_bank_span(self):
+        timing = DDR_TEST
+        row_bytes = timing.words_per_row * 4
+        banks = bank_span(0, row_bytes * 2, timing)
+        assert banks == (0, 1)
+
+
+class TestCommandPriority:
+    def test_column_beats_row_beats_precharge(self):
+        assert (
+            COMMAND_PRIORITY[DdrCommand.READ]
+            < COMMAND_PRIORITY[DdrCommand.ACTIVATE]
+            < COMMAND_PRIORITY[DdrCommand.PRECHARGE]
+        )

@@ -1,0 +1,40 @@
+"""Tests for the Clock time base."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernel.clock import Clock
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Clock().cycle == 0
+
+    def test_advance(self):
+        clock = Clock()
+        assert clock.advance(5) == 5
+        assert clock.advance() == 6
+
+    def test_advance_to_monotonic(self):
+        clock = Clock()
+        clock.advance_to(100)
+        with pytest.raises(ConfigError):
+            clock.advance_to(50)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ConfigError):
+            Clock().advance(-1)
+
+    def test_reset(self):
+        clock = Clock()
+        clock.advance(42)
+        clock.reset()
+        assert clock.cycle == 0
+
+    def test_cycles_to_us(self):
+        clock = Clock(frequency_mhz=100.0)
+        assert clock.cycles_to_us(500) == pytest.approx(5.0)
+
+    def test_bad_frequency(self):
+        with pytest.raises(ConfigError):
+            Clock(frequency_mhz=0)

@@ -1,0 +1,97 @@
+"""Tests for the 2-step cycle engine."""
+
+import pytest
+
+from repro.errors import CombinationalLoopError, SimulationError
+from repro.kernel.cycle import CycleEngine
+from repro.kernel.signal import Signal
+
+
+def make_counter_engine():
+    """A registered counter plus a combinational 'is even' decode."""
+    engine = CycleEngine()
+    count = Signal("count", width=16)
+    even = Signal("even")
+    engine.add_signal(count, even)
+    engine.add_combinational(lambda: even.drive(count.value % 2 == 0))
+    engine.add_sequential(lambda: count.drive_next(count.value + 1))
+    return engine, count, even
+
+
+class TestCycleEngine:
+    def test_sequential_updates_once_per_cycle(self):
+        engine, count, _ = make_counter_engine()
+        engine.run(5)
+        assert count.value == 5
+        assert engine.cycle == 5
+
+    def test_combinational_reflects_registered_state_same_cycle(self):
+        engine, count, even = make_counter_engine()
+        engine.step()
+        # count committed to 1; the post-commit settle updated `even`.
+        assert count.value == 1
+        assert even.value == 0
+
+    def test_two_step_registers_swap_without_race(self):
+        engine = CycleEngine()
+        a = Signal("a", reset=0)
+        b = Signal("b", reset=1)
+        engine.add_signal(a, b)
+
+        def swap():
+            a.drive_next(b.value)
+            b.drive_next(a.value)
+
+        engine.add_sequential(swap)
+        engine.step()
+        assert (a.value, b.value) == (1, 0)
+        engine.step()
+        assert (a.value, b.value) == (0, 1)
+
+    def test_combinational_loop_detected(self):
+        engine = CycleEngine()
+        a = Signal("a")
+        b = Signal("b")
+        engine.add_signal(a, b)
+        engine.add_combinational(lambda: a.drive(1 - b.value))
+        engine.add_combinational(lambda: b.drive(a.value))
+        with pytest.raises(CombinationalLoopError):
+            engine.step()
+
+    def test_comb_chain_settles(self):
+        engine = CycleEngine()
+        stages = [Signal(f"s{i}", width=8) for i in range(5)]
+        engine.add_signal(*stages)
+        for i in range(1, 5):
+            engine.add_combinational(
+                lambda i=i: stages[i].drive(stages[i - 1].value + 1)
+            )
+        engine.add_sequential(lambda: stages[0].drive_next(stages[0].value + 10))
+        engine.step()
+        assert [sig.value for sig in stages] == [10, 11, 12, 13, 14]
+
+    def test_run_negative_raises(self):
+        with pytest.raises(SimulationError):
+            CycleEngine().run(-1)
+
+    def test_run_until_predicate(self):
+        engine, count, _ = make_counter_engine()
+        engine.run_until(lambda: count.value >= 7)
+        assert count.value == 7
+
+    def test_run_until_timeout(self):
+        engine, _, _ = make_counter_engine()
+        with pytest.raises(SimulationError):
+            engine.run_until(lambda: False, max_cycles=10)
+
+    def test_cycle_hooks(self):
+        engine, _, _ = make_counter_engine()
+        cycles = []
+        engine.add_cycle_hook(cycles.append)
+        engine.run(3)
+        assert cycles == [1, 2, 3]
+
+    def test_evaluate_passes_counted(self):
+        engine, _, _ = make_counter_engine()
+        engine.run(2)
+        assert engine.evaluate_passes >= 4

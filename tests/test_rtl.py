@@ -1,0 +1,117 @@
+"""Tests for the pin-accurate RTL model."""
+
+import pytest
+
+from repro.core import build_tlm_platform
+from repro.core.platform import config_for_workload
+from repro.rtl import build_rtl_platform, MasterState
+from repro.traffic import (
+    single_master_workload,
+    table1_pattern_a,
+    table1_pattern_c,
+    write_heavy_workload,
+)
+
+from dataclasses import replace
+
+
+class TestRtlPlatform:
+    def test_single_master_matches_tlm_exactly(self):
+        workload = single_master_workload(30)
+        rtl = build_rtl_platform(workload)
+        rtl_result = rtl.run()
+        tlm = build_tlm_platform(workload)
+        tlm_result = tlm.run()
+        assert rtl_result.cycles == tlm_result.cycles
+        assert rtl.memory.equal_contents(tlm.memory)
+
+    def test_multi_master_functional_equivalence(self):
+        workload = table1_pattern_a(40)
+        rtl = build_rtl_platform(workload)
+        rtl_result = rtl.run()
+        tlm = build_tlm_platform(workload)
+        tlm_result = tlm.run()
+        assert rtl.memory.equal_contents(tlm.memory)
+        assert rtl_result.transactions == tlm_result.transactions
+        # Cycle counts agree within the documented abstraction error.
+        error = abs(rtl_result.cycles - tlm_result.cycles) / rtl_result.cycles
+        assert error < 0.15
+
+    def test_all_masters_drain(self):
+        platform = build_rtl_platform(table1_pattern_a(25))
+        platform.run()
+        for master in platform.masters:
+            assert master.done
+            assert master.state is MasterState.IDLE
+        assert platform.buffer_master.done
+        assert platform.ddrc.idle
+
+    def test_read_data_matches_writes(self):
+        workload = single_master_workload(40)
+        platform = build_rtl_platform(workload)
+        platform.run()
+        last = {}
+        for txn in platform.agents[0].completed:
+            addrs = range(txn.addr, txn.addr + txn.total_bytes, txn.size_bytes)
+            if txn.is_write:
+                for a, v in zip(addrs, txn.data):
+                    last[a] = v
+            else:
+                for a, v in zip(addrs, txn.data):
+                    if a in last:
+                        assert v == last[a]
+
+    def test_write_buffer_absorbs_under_contention(self):
+        platform = build_rtl_platform(write_heavy_workload(30))
+        result = platform.run()
+        assert result.absorbed_writes > 0
+        assert result.absorbed_writes == result.drained_writes
+
+    def test_pipelined_grants_and_bi_traffic(self):
+        platform = build_rtl_platform(table1_pattern_a(30))
+        result = platform.run()
+        assert result.pipelined_grants > 0
+        assert result.bi_next_info > 0
+        assert platform.ddrc.prepared_banks > 0
+
+    def test_bi_disabled_removes_preparation(self):
+        workload = table1_pattern_a(25)
+        cfg = replace(config_for_workload(workload), bus_interface_enabled=False)
+        platform = build_rtl_platform(workload, config=cfg)
+        result = platform.run()
+        assert result.bi_next_info == 0
+        assert platform.ddrc.prepared_banks == 0
+
+    def test_pipelining_disabled_still_drains(self):
+        workload = table1_pattern_a(25)
+        cfg = replace(config_for_workload(workload), request_pipelining=False)
+        on = build_rtl_platform(workload).run()
+        off = build_rtl_platform(workload, config=cfg).run()
+        assert off.pipelined_grants == 0
+        assert on.cycles < off.cycles
+
+    def test_refreshes_happen_on_long_runs(self):
+        workload = table1_pattern_c(40)
+        platform = build_rtl_platform(workload)
+        platform.run()
+        assert platform.ddrc.refreshes > 0
+
+    def test_qos_tracked(self):
+        platform = build_rtl_platform(table1_pattern_c(25))
+        result = platform.run()
+        assert result.rt_deadline_hits + result.rt_deadline_misses > 0
+
+    def test_vcd_trace_produced(self):
+        platform = build_rtl_platform(single_master_workload(5), trace=True)
+        platform.run()
+        assert platform.tracer is not None
+        text = platform.tracer.getvalue()
+        assert "$enddefinitions" in text
+        assert platform.tracer.change_count > 10
+
+    def test_rtl_evaluate_cost_is_per_cycle(self):
+        # The cost model the speedup rests on: evaluate passes scale with
+        # cycles, not transactions.
+        platform = build_rtl_platform(single_master_workload(10))
+        result = platform.run()
+        assert platform.engine.evaluate_passes >= result.cycles

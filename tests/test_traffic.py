@@ -1,0 +1,184 @@
+"""Tests for traffic patterns, generation, workloads and traces."""
+
+import io
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ahb.burst import check_burst_legal
+from repro.core import build_tlm_platform
+from repro.traffic import (
+    CPU,
+    DMA,
+    VIDEO,
+    TraceRecorder,
+    TrafficPattern,
+    bank_striped_workload,
+    generate_items,
+    load_trace,
+    named_pattern,
+    replay_items,
+    saturating_workload,
+    single_master_workload,
+    table1_workloads,
+)
+from repro.errors import TrafficError
+
+from dataclasses import replace
+
+
+class TestPatterns:
+    def test_named_lookup(self):
+        assert named_pattern("cpu") is CPU
+        with pytest.raises(TrafficError):
+            named_pattern("quantum")
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            TrafficPattern(name="bad", read_fraction=1.5)
+        with pytest.raises(TrafficError):
+            TrafficPattern(name="bad", burst_mix=())
+        with pytest.raises(TrafficError):
+            TrafficPattern(name="bad", think_range=(5, 2))
+        with pytest.raises(TrafficError):
+            TrafficPattern(name="bad", stride_bytes=1)
+
+    def test_rt_flag(self):
+        assert VIDEO.is_real_time and not CPU.is_real_time
+
+
+class TestGenerator:
+    def test_deterministic_for_same_seed(self):
+        a = generate_items(CPU, 0, 50, seed=7)
+        b = generate_items(CPU, 0, 50, seed=7)
+        assert [(i.txn.addr, i.txn.beats, i.think_cycles) for i in a] == [
+            (i.txn.addr, i.txn.beats, i.think_cycles) for i in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_items(CPU, 0, 50, seed=7)
+        b = generate_items(CPU, 0, 50, seed=8)
+        assert [i.txn.addr for i in a] != [i.txn.addr for i in b]
+
+    @settings(max_examples=25)
+    @given(seed=st.integers(0, 10_000))
+    def test_all_generated_traffic_is_protocol_legal(self, seed):
+        for pattern in (CPU, DMA, VIDEO):
+            for item in generate_items(pattern, 0, 30, seed):
+                txn = item.txn
+                check_burst_legal(txn)
+                assert txn.addr % txn.size_bytes == 0
+                end = pattern.base_addr + pattern.addr_span
+                assert pattern.base_addr <= txn.addr < end
+                assert txn.addr + txn.total_bytes <= end
+
+    def test_periodic_pattern_sets_schedule(self):
+        items = generate_items(VIDEO, 0, 5, seed=1)
+        assert [i.not_before for i in items] == [
+            k * VIDEO.period for k in range(5)
+        ]
+        assert all(i.absolute_deadline is not None for i in items)
+
+    def test_write_items_carry_data(self):
+        writer = replace(CPU, read_fraction=0.0)
+        for item in generate_items(writer, 0, 10, seed=3):
+            assert item.txn.is_write
+            assert len(item.txn.data) == item.txn.beats
+
+    def test_stride_pattern_advances_by_stride(self):
+        strided = replace(
+            DMA,
+            sequential_fraction=1.0,
+            stride_bytes=0x1000,
+            burst_mix=((4, 1.0),),
+            addr_span=0x10000,
+        )
+        items = generate_items(strided, 0, 4, seed=1)
+        addrs = [i.txn.addr for i in items]
+        assert addrs == [0x0, 0x1000, 0x2000, 0x3000]
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TrafficError):
+            generate_items(CPU, 0, -1, seed=0)
+
+
+class TestWorkloads:
+    def test_table1_suite_shapes(self):
+        suites = table1_workloads(20)
+        assert [w.name for w in suites] == ["pattern_a", "pattern_b", "pattern_c"]
+        for workload in suites:
+            assert workload.num_masters == 4
+            assert workload.total_transactions == 80
+
+    def test_qos_map_only_rt_masters(self):
+        workload = table1_workloads(10)[2]
+        assert set(workload.qos_map()) == {0, 1}
+
+    def test_disjoint_windows(self):
+        workload = table1_workloads(10)[0]
+        windows = [
+            (spec.pattern.base_addr, spec.pattern.base_addr + spec.pattern.addr_span)
+            for spec in workload.masters
+        ]
+        for (lo1, hi1), (lo2, hi2) in zip(windows, windows[1:]):
+            assert hi1 <= lo2 or hi2 <= lo1
+
+    def test_scaled(self):
+        workload = single_master_workload(100).scaled(0.5)
+        assert workload.total_transactions == 50
+
+    def test_with_seed(self):
+        assert single_master_workload(10).with_seed(42).seed == 42
+
+    def test_saturating_has_low_priority_rt(self):
+        workload = saturating_workload(10)
+        rt = list(workload.qos_map())
+        assert rt == [workload.num_masters - 1]
+
+    def test_bank_striped_masters_own_banks(self):
+        from repro.ddr.commands import decode_address
+        from repro.ddr.timing import DDR_266
+
+        workload = bank_striped_workload(10)
+        for index, spec in enumerate(workload.masters):
+            items = generate_items(spec.pattern, index, 10, workload.seed)
+            banks = {
+                decode_address(i.txn.addr, DDR_266).bank for i in items
+            }
+            assert banks == {index}
+
+
+class TestTrace:
+    def test_record_dump_load_roundtrip(self):
+        platform = build_tlm_platform(single_master_workload(15))
+        recorder = TraceRecorder()
+        platform.bus.add_observer(recorder)
+        platform.run()
+        assert len(recorder) == 15
+        buffer = io.StringIO()
+        recorder.dump(buffer)
+        buffer.seek(0)
+        records = load_trace(buffer)
+        assert len(records) == 15
+        assert records[0].master == 0
+
+    def test_replay_items_preserve_issue_times(self):
+        platform = build_tlm_platform(single_master_workload(10))
+        recorder = TraceRecorder()
+        platform.bus.add_observer(recorder)
+        platform.run()
+        items = replay_items(recorder.records, master=0)
+        assert len(items) == 10
+        assert all(i.not_before is not None for i in items)
+
+    def test_malformed_trace_rejected(self):
+        with pytest.raises(TrafficError):
+            load_trace(io.StringIO("not json\n"))
+
+    def test_by_master_grouping(self):
+        platform = build_tlm_platform(table1_workloads(5)[0])
+        recorder = TraceRecorder()
+        platform.bus.add_observer(recorder)
+        platform.run()
+        grouped = recorder.by_master()
+        assert sum(len(v) for v in grouped.values()) == len(recorder)
