@@ -1,0 +1,19 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-baseline bench-tables
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Run the §4 speed suite and fail on >20% regression vs BENCH_speed.json.
+bench:
+	$(PYTHON) -m benchmarks.bench_regression
+
+# Re-record BENCH_speed.json's `current` block (preserves the seed block).
+bench-baseline:
+	$(PYTHON) -m benchmarks.bench_regression --write-baseline
+
+# The full paper-table benchmark suite (slow; pytest-benchmark output).
+bench-tables:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q

@@ -1,0 +1,1 @@
+"""Benchmark suite package (pytest-benchmark files + the regression CLI)."""

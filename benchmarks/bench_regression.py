@@ -1,0 +1,108 @@
+"""Speed-regression gate over the committed ``BENCH_speed.json``.
+
+Usage (see also ``make bench`` / ``make bench-baseline``)::
+
+    PYTHONPATH=src python -m benchmarks.bench_regression
+        Run the §4 speed suite and fail (exit 1) if any model is more
+        than --threshold below the committed baseline.
+
+    PYTHONPATH=src python -m benchmarks.bench_regression --write-baseline
+        Run the suite and rewrite BENCH_speed.json's ``current`` block
+        (the ``seed`` block — the pre-optimisation measurement — is
+        preserved so cumulative speedups keep their reference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import repro.core  # noqa: F401  (anchor package import order)
+from repro.analysis.bench_io import (
+    compare_reports,
+    load_report,
+    make_report,
+    render_block,
+    run_speed_suite,
+    same_host,
+    speedups_vs,
+    write_report,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_speed.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline report path (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed fractional slowdown per model (default: 0.20)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record this run as the new baseline instead of checking",
+    )
+    parser.add_argument(
+        "--repeats-tlm", type=int, default=5, help="best-of-N for TLM runs"
+    )
+    parser.add_argument(
+        "--repeats-rtl", type=int, default=3, help="best-of-N for RTL runs"
+    )
+    args = parser.parse_args(argv)
+
+    fresh = run_speed_suite(
+        repeats_tlm=args.repeats_tlm, repeats_rtl=args.repeats_rtl
+    )
+    print(render_block(fresh, title="this run"))
+
+    if args.write_baseline:
+        seed = None
+        if args.baseline.exists():
+            seed = load_report(args.baseline).get("seed")
+        report = make_report(fresh, seed=seed)
+        write_report(args.baseline, report)
+        print(f"baseline written to {args.baseline}")
+        print(f"speedup vs seed: {report['speedup_vs_seed']}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"no baseline at {args.baseline}; run with --write-baseline first",
+            file=sys.stderr,
+        )
+        return 2
+
+    baseline = load_report(args.baseline)
+    print(render_block(baseline.get("current", baseline), title="baseline"))
+    seed = baseline.get("seed")
+    if seed is not None:
+        print(f"cumulative speedup vs seed: {speedups_vs(fresh, seed)}")
+    if not same_host(fresh, baseline):
+        print(
+            "baseline was recorded on a different host; absolute Kcycles/s "
+            "do not transfer between machines — skipping the regression "
+            "gate. Run `make bench-baseline` on this host first."
+        )
+        return 0
+    failures = compare_reports(fresh, baseline, threshold=args.threshold)
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        return 1
+    print(f"ok: within {args.threshold:.0%} of baseline for all models")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

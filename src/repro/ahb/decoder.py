@@ -44,6 +44,10 @@ class AddressMap:
 
     def __init__(self) -> None:
         self._regions: List[Region] = []
+        #: Flat (base, end, slave_index) rows for the per-transaction
+        #: routing lookup — avoids the Region property calls in the
+        #: bus engines' hot path.
+        self._table: List[tuple] = []
 
     def add(self, name: str, base: int, size: int, slave_index: int) -> Region:
         """Register a region; overlapping an existing region is an error."""
@@ -55,6 +59,7 @@ class AddressMap:
                     f"{existing.name}"
                 )
         self._regions.append(region)
+        self._table.append((region.base, region.end, slave_index))
         return region
 
     @property
@@ -77,7 +82,10 @@ class AddressMap:
 
     def slave_for(self, addr: int) -> int:
         """Slave index serving *addr* (the HSEL the RTL decoder asserts)."""
-        return self.decode(addr).slave_index
+        for base, end, slave_index in self._table:
+            if base <= addr < end:
+                return slave_index
+        return self.decode(addr).slave_index  # cold path: raises unmapped
 
     def span(self) -> int:
         """Total mapped bytes."""

@@ -27,7 +27,7 @@ WRITE_BUFFER_MASTER = 255
 _txn_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """A single AHB burst transfer at transaction level.
 
@@ -76,8 +76,13 @@ class Transaction:
     drained_at: int = -1
     #: Drain transactions link back to the posted original.
     origin: Optional["Transaction"] = None
+    #: Cached ``kind.is_write`` — read on every arbitration round and
+    #: data beat, so it is materialised once instead of going through a
+    #: property descriptor per access.
+    is_write: bool = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
+        self.is_write = self.kind.is_write
         if self.beats < 1:
             raise ProtocolError(f"transaction needs >= 1 beat, got {self.beats}")
         if self.size_bytes <= 0 or self.size_bytes & (self.size_bytes - 1):
@@ -109,10 +114,6 @@ class Transaction:
     def hsize(self) -> HSize:
         """The HSIZE encoding of this transfer."""
         return HSize.for_bytes(self.size_bytes)
-
-    @property
-    def is_write(self) -> bool:
-        return self.kind.is_write
 
     @property
     def total_bytes(self) -> int:

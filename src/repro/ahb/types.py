@@ -56,21 +56,23 @@ _BURST_BEATS = {
 }
 
 
+_FIXED_BURSTS = {1: HBurst.SINGLE, 4: HBurst.INCR4, 8: HBurst.INCR8, 16: HBurst.INCR16}
+_WRAP_BURSTS = {4: HBurst.WRAP4, 8: HBurst.WRAP8, 16: HBurst.WRAP16}
+
+
 def burst_for_beats(beats: int, wrapping: bool = False) -> HBurst:
     """Pick the AHB burst encoding for a beat count.
 
     Beat counts without a fixed encoding (e.g. 3, 5) map to ``INCR``;
     requesting a wrapping burst for such counts is a protocol error.
     """
-    fixed = {1: HBurst.SINGLE, 4: HBurst.INCR4, 8: HBurst.INCR8, 16: HBurst.INCR16}
-    wrap = {4: HBurst.WRAP4, 8: HBurst.WRAP8, 16: HBurst.WRAP16}
     if beats < 1:
         raise ProtocolError(f"burst must have at least one beat, got {beats}")
     if wrapping:
-        if beats not in wrap:
+        if beats not in _WRAP_BURSTS:
             raise ProtocolError(f"no wrapping burst encoding for {beats} beats")
-        return wrap[beats]
-    return fixed.get(beats, HBurst.INCR)
+        return _WRAP_BURSTS[beats]
+    return _FIXED_BURSTS.get(beats, HBurst.INCR)
 
 
 class HSize(enum.IntEnum):
@@ -113,6 +115,8 @@ class AccessKind(enum.Enum):
     READ = "read"
     WRITE = "write"
 
-    @property
-    def is_write(self) -> bool:
-        return self is AccessKind.WRITE
+    def __init__(self, value: str) -> None:
+        # Plain member attribute instead of a property: ``is_write`` is
+        # consulted on every arbitration round and data beat, and an
+        # attribute read is several times cheaper than a descriptor call.
+        self.is_write = value == "write"

@@ -1,5 +1,12 @@
 """Analysis: accuracy (Table 1), speed (§4), tables and experiment drivers."""
 
+from repro.analysis.bench_io import (
+    compare_reports,
+    load_report,
+    make_report,
+    run_speed_suite,
+    write_report,
+)
 from repro.analysis.accuracy import (
     MasterAccuracy,
     Table1Result,
@@ -40,6 +47,7 @@ __all__ = [
     "WorkloadAccuracy",
     "WriteBufferPoint",
     "compare_models",
+    "compare_reports",
     "experiment_bank_interleaving",
     "experiment_filters",
     "experiment_qos",
@@ -47,10 +55,14 @@ __all__ = [
     "experiment_table1",
     "experiment_write_buffer",
     "kernel_comparison",
+    "load_report",
+    "make_report",
     "measure_rtl",
     "measure_tlm",
     "render_speed",
     "render_table1",
+    "run_speed_suite",
     "run_table1",
     "speed_comparison",
+    "write_report",
 ]

@@ -1,0 +1,212 @@
+"""Persistent Kcycles/s benchmark reports (the BENCH trajectory).
+
+The paper's headline result is simulation *speed* (§4: 0.47 Kcycles/s
+RTL vs 166/456 Kcycles/s TLM), so this repository tracks its own speed
+trajectory across PRs: :func:`run_speed_suite` wall-clocks the canonical
+§4 workloads, :func:`write_report` persists the numbers to
+``BENCH_speed.json`` together with the git revision, and
+:func:`compare_reports` flags regressions against the committed
+baseline.  ``python -m benchmarks.bench_regression`` (or ``make bench``)
+is the CLI over these helpers.
+
+The committed ``BENCH_speed.json`` holds two measurement blocks:
+
+* ``seed`` — the numbers measured on the seed implementation (the
+  "before" of the first optimisation PR), kept verbatim so every later
+  measurement can report its cumulative speedup, and
+* ``current`` — the most recent committed measurement, which future PRs
+  regress against (default tolerance: 20 %).
+
+Absolute Kcycles/s are host-dependent, so every measurement block
+records the host it ran on and :func:`compare_reports` refuses to
+grade a fresh run against a baseline from a *different* host (the CLI
+then asks for a local ``--write-baseline`` instead of failing
+spuriously on a slower machine).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.analysis.speed import SpeedSample, measure_rtl, measure_tlm
+from repro.traffic.workloads import single_master_workload, table1_pattern_a
+
+#: Schema version of BENCH_speed.json.
+SCHEMA = 1
+
+#: Canonical suite sizing: large enough for stable timings, small
+#: enough that the pin-accurate run finishes in well under a second.
+TLM_TRANSACTIONS = 300
+SINGLE_MASTER_TRANSACTIONS = 600
+RTL_TRANSACTIONS = 40
+
+#: Models measured by the suite (report keys).
+MODELS = ("tlm_method", "tlm_single_master", "rtl")
+
+
+def git_revision(default: str = "unknown") -> str:
+    """Short git revision of the working tree, or *default*."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return default
+    if out.returncode != 0:
+        return default
+    return out.stdout.strip() or default
+
+
+def _sample_dict(sample: SpeedSample) -> Dict[str, float]:
+    return {
+        "kcycles_per_sec": round(sample.kcycles_per_sec, 3),
+        "simulated_cycles": sample.simulated_cycles,
+        "wall_seconds": round(sample.wall_seconds, 6),
+    }
+
+
+def run_speed_suite(
+    repeats_tlm: int = 5, repeats_rtl: int = 3
+) -> Dict[str, object]:
+    """Run the §4 speed suite; returns one measurement block.
+
+    Best-of-N timing per model (platform construction untimed), exactly
+    the methodology of :mod:`repro.analysis.speed`.
+    """
+    tlm = measure_tlm(table1_pattern_a(TLM_TRANSACTIONS), repeats=repeats_tlm)
+    single = measure_tlm(
+        single_master_workload(SINGLE_MASTER_TRANSACTIONS), repeats=repeats_tlm
+    )
+    rtl = measure_rtl(table1_pattern_a(RTL_TRANSACTIONS), repeats=repeats_rtl)
+    speedup = (
+        tlm.kcycles_per_sec / rtl.kcycles_per_sec
+        if rtl.kcycles_per_sec > 0
+        else float("inf")
+    )
+    return {
+        "git_rev": git_revision(),
+        "python": sys.version.split()[0],
+        "host": platform.node() or "unknown",
+        "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "models": {
+            "tlm_method": _sample_dict(tlm),
+            "tlm_single_master": _sample_dict(single),
+            "rtl": _sample_dict(rtl),
+        },
+        "tlm_over_rtl_speedup": round(speedup, 2),
+    }
+
+
+def speedups_vs(block: Dict[str, object], reference: Dict[str, object]) -> Dict[str, float]:
+    """Per-model Kcycles/s ratio of *block* over *reference*."""
+    ratios: Dict[str, float] = {}
+    block_models = block["models"]  # type: ignore[index]
+    ref_models = reference["models"]  # type: ignore[index]
+    for model in MODELS:
+        mine = block_models.get(model)  # type: ignore[union-attr]
+        theirs = ref_models.get(model)  # type: ignore[union-attr]
+        if not mine or not theirs:
+            continue
+        base = theirs["kcycles_per_sec"]
+        if base > 0:
+            ratios[model] = round(mine["kcycles_per_sec"] / base, 3)
+    return ratios
+
+
+def make_report(
+    current: Dict[str, object], seed: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """Assemble the full BENCH_speed.json document."""
+    if seed is None:
+        seed = current
+    return {
+        "schema": SCHEMA,
+        "note": (
+            "Kcycles/s are host-dependent; 'seed' was measured on the "
+            "pre-optimisation implementation on the same host as 'current'."
+        ),
+        "seed": seed,
+        "current": current,
+        "speedup_vs_seed": speedups_vs(current, seed),
+    }
+
+
+def write_report(path: Path, report: Dict[str, object]) -> None:
+    """Persist *report* as pretty-printed JSON."""
+    Path(path).write_text(json.dumps(report, indent=2) + "\n")
+
+
+def load_report(path: Path) -> Dict[str, object]:
+    """Load a previously written BENCH_speed.json."""
+    return json.loads(Path(path).read_text())
+
+
+def same_host(fresh: Dict[str, object], baseline: Dict[str, object]) -> bool:
+    """Whether two blocks/reports were (as far as recorded) measured on
+    the same machine.  Missing host information counts as comparable so
+    pre-host-field reports keep working."""
+    base_block = baseline.get("current", baseline)
+    mine = fresh.get("host")
+    theirs = base_block.get("host")  # type: ignore[union-attr]
+    return mine is None or theirs is None or mine == theirs
+
+
+def compare_reports(
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = 0.20,
+) -> List[str]:
+    """Regressions of *fresh* against *baseline*'s ``current`` block.
+
+    Returns human-readable failure strings; empty means every model is
+    within *threshold* of the committed baseline (or faster).  A
+    baseline recorded on a different host is not gradable — absolute
+    Kcycles/s do not transfer between machines — so it produces no
+    failures; callers should check :func:`same_host` and prompt for a
+    local baseline instead.
+    """
+    if not same_host(fresh, baseline):
+        return []
+    failures: List[str] = []
+    base_block = baseline.get("current", baseline)
+    base_models = base_block.get("models", {})  # type: ignore[union-attr]
+    fresh_models = fresh["models"]  # type: ignore[index]
+    for model in MODELS:
+        base = base_models.get(model)
+        mine = fresh_models.get(model)  # type: ignore[union-attr]
+        if not base or not mine:
+            continue
+        floor = base["kcycles_per_sec"] * (1.0 - threshold)
+        if mine["kcycles_per_sec"] < floor:
+            failures.append(
+                f"{model}: {mine['kcycles_per_sec']:.1f} Kcyc/s is more than "
+                f"{threshold:.0%} below baseline "
+                f"{base['kcycles_per_sec']:.1f} Kcyc/s "
+                f"(rev {base_block.get('git_rev', '?')})"
+            )
+    return failures
+
+
+def render_block(block: Dict[str, object], title: str = "speed") -> str:
+    """One-measurement summary table for terminals/logs."""
+    lines = [f"== {title} (rev {block.get('git_rev', '?')}) =="]
+    models = block["models"]  # type: ignore[index]
+    for model in MODELS:
+        sample = models.get(model)  # type: ignore[union-attr]
+        if sample:
+            lines.append(
+                f"  {model:<20} {sample['kcycles_per_sec']:>10.1f} Kcycles/s"
+                f"  ({sample['simulated_cycles']} cycles in "
+                f"{sample['wall_seconds']:.4f}s)"
+            )
+    lines.append(f"  TLM/RTL speedup: {block.get('tlm_over_rtl_speedup', '?')}x")
+    return "\n".join(lines)

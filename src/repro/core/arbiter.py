@@ -39,6 +39,7 @@ class AhbPlusArbiter:
         self.filters: List[ArbitrationFilter] = list(filters)
         if not self.filters or not isinstance(self.filters[-1], TieBreakFilter):
             raise ConfigError("the filter chain must end with the tie-break filter")
+        self._tie_break: TieBreakFilter = self.filters[-1]
         self.rounds = 0
 
     # -- configuration -----------------------------------------------------------
@@ -68,6 +69,13 @@ class AhbPlusArbiter:
         if not candidates:
             raise SimulationError("arbitration invoked with no candidates")
         self.rounds += 1
+        if len(candidates) == 1:
+            # Fast path: a lone candidate passes every narrowing filter
+            # untouched (they skip singleton sets without counting an
+            # application), so only the mandatory tie-break runs — its
+            # apply() keeps the profiling counters and the round-robin
+            # rotation state exactly as the full chain would.
+            return self._tie_break.apply(list(candidates), ctx)[0]
         survivors = list(candidates)
         for filt in self.filters:
             survivors = filt.apply(survivors, ctx)

@@ -111,6 +111,13 @@ class AhbPlusBusTlm:
         self._bytes = 0
         self._pipelined: Optional[Tuple[Candidate, int]] = None
         self._pipelined_grants = 0
+        # One context reused across rounds: every field is refreshed by
+        # _make_ctx, so per-round allocation is avoided on the hot path.
+        self._ctx = ArbitrationContext(
+            now=0,
+            urgency_margin=self.config.urgency_margin,
+            starvation_limit=self.config.starvation_limit,
+        )
 
     def _default_qos(self) -> QosRegisterFile:
         qos = QosRegisterFile(self.config.num_masters)
@@ -134,6 +141,7 @@ class AhbPlusBusTlm:
         self, now: int, exclude: Optional[Transaction] = None
     ) -> List[Candidate]:
         candidates: List[Candidate] = []
+        qos = self.qos
         for master in self.masters:
             txn = master.pending(now)
             if txn is None or txn is exclude:
@@ -142,8 +150,8 @@ class AhbPlusBusTlm:
                 Candidate(
                     txn=txn,
                     from_write_buffer=False,
-                    real_time=self.qos.is_real_time(master.index),
-                    deadline=self.qos.deadline_for(txn),
+                    real_time=qos.is_real_time(master.index),
+                    deadline=qos.deadline_for(txn),
                 )
             )
         head = self.write_buffer.head()
@@ -156,27 +164,18 @@ class AhbPlusBusTlm:
         return self.slaves[index], self.bus_interfaces[index]
 
     def _make_ctx(self, now: int, candidates: Sequence[Candidate]) -> ArbitrationContext:
-        hazard = any(
-            not cand.from_write_buffer
-            and not cand.txn.is_write
-            and self.write_buffer.conflicts_with(cand.txn)
-            for cand in candidates
-        )
+        buffer = self.write_buffer
         # The bank filter consults the controller behind the first
         # candidate's region; platforms in this library put the DDRC
         # behind one region, so any candidate resolves identically.
         _slave, bi = self._route(candidates[0].txn)
-        return ArbitrationContext(
-            now=now,
-            write_buffer_occupancy=self.write_buffer.occupancy,
-            write_buffer_depth=(
-                self.write_buffer.depth if self.write_buffer.enabled else 0
-            ),
-            read_hazard=hazard,
-            access_score=bi.access_score_fn(now),
-            urgency_margin=self.config.urgency_margin,
-            starvation_limit=self.config.starvation_limit,
-        )
+        ctx = self._ctx
+        ctx.now = now
+        ctx.write_buffer_occupancy = buffer.occupancy
+        ctx.write_buffer_depth = buffer.depth if buffer.enabled else 0
+        ctx.read_hazard = buffer.read_hazard(candidates)
+        ctx.access_score = bi.access_score_fn(now)
+        return ctx
 
     def _absorb_losers(
         self, candidates: Sequence[Candidate], winner: Candidate, cycle: int

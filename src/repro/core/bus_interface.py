@@ -32,6 +32,10 @@ class BusInterface:
         self.idle_bank_queries = 0
         self.permission_queries = 0
         self.preparations_effective = 0
+        # Cached bank-cost closure (see access_score_fn): rebuilt never,
+        # re-aimed at the current cycle once per arbitration round.
+        self._score_cycle = 0
+        self._score_fn: Optional[Callable[[int], int]] = None
 
     # -- next transaction information -------------------------------------------
 
@@ -65,18 +69,25 @@ class BusInterface:
         """Bank-cost oracle for the arbiter's bank filter.
 
         Returns ``None`` when the BI is disabled or the slave has no
-        bank structure, which makes the bank filter abstain.
+        bank structure, which makes the bank filter abstain.  The
+        returned closure is cached; only the cycle it reports against is
+        refreshed, so calling this per round costs no allocation.  The
+        closure is only valid for the round it was handed out for.
         """
         if not self.enabled:
             return None
-        score = getattr(self.slave, "access_score", None)
-        if score is None:
-            return None
+        self._score_cycle = cycle
+        lookup = self._score_fn
+        if lookup is None:
+            score = getattr(self.slave, "access_score", None)
+            if score is None:
+                return None
 
-        def lookup(addr: int) -> int:
-            self.idle_bank_queries += 1
-            return score(addr, cycle)
+            def lookup(addr: int) -> int:
+                self.idle_bank_queries += 1
+                return score(addr, self._score_cycle)
 
+            self._score_fn = lookup
         return lookup
 
     # -- access permission ----------------------------------------------------------

@@ -29,14 +29,14 @@ Filter order (first applied first):
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.ahb.transaction import WRITE_BUFFER_MASTER, Transaction
 from repro.errors import ConfigError
 
 
-@dataclass
+@dataclass(slots=True)
 class Candidate:
     """One contender in an arbitration round."""
 
@@ -59,9 +59,14 @@ class Candidate:
         return self.deadline - now
 
 
-@dataclass
+@dataclass(slots=True)
 class ArbitrationContext:
-    """Round-shared state the filters consult."""
+    """Round-shared state the filters consult.
+
+    The bus engines keep one instance alive and refresh its fields each
+    round (see ``AhbPlusBusTlm._make_ctx``) instead of allocating a new
+    context per arbitration — filters must treat it as read-only.
+    """
 
     now: int
     #: Occupancy / depth of the write buffer (0/1 when disabled).
@@ -159,15 +164,17 @@ class UrgencyFilter(ArbitrationFilter):
     def _narrow(
         self, candidates: List[Candidate], ctx: ArbitrationContext
     ) -> List[Candidate]:
-        urgent = [
-            c
-            for c in candidates
-            if (s := c.slack(ctx.now)) is not None and s <= ctx.urgency_margin
-        ]
+        now = ctx.now
+        margin = ctx.urgency_margin
+        urgent: List[Tuple[int, Candidate]] = []
+        for c in candidates:
+            deadline = c.deadline
+            if deadline is not None and deadline - now <= margin:
+                urgent.append((deadline - now, c))
         if not urgent:
             return candidates
-        best = min(s for c in urgent if (s := c.slack(ctx.now)) is not None)
-        return [c for c in urgent if c.slack(ctx.now) == best]
+        best = min(slack for slack, _c in urgent)
+        return [c for slack, c in urgent if slack == best]
 
 
 class RealTimeFilter(ArbitrationFilter):

@@ -91,12 +91,7 @@ class InteractiveAhbPlus:
     # -- engine ---------------------------------------------------------------
 
     def _ctx(self, candidates: Sequence[Candidate]) -> ArbitrationContext:
-        hazard = any(
-            not cand.from_write_buffer
-            and not cand.txn.is_write
-            and self.write_buffer.conflicts_with(cand.txn)
-            for cand in candidates
-        )
+        hazard = self.write_buffer.read_hazard(candidates)
         return ArbitrationContext(
             now=self._now,
             write_buffer_occupancy=self.write_buffer.occupancy,

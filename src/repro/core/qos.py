@@ -86,6 +86,9 @@ class QosRegisterFile:
         self._settings: Dict[int, QosSetting] = {
             index: QosSetting() for index in range(num_masters)
         }
+        # Flat RT-class cache: is_real_time() runs per candidate per
+        # arbitration round, so it reads a list instead of the dict.
+        self._rt_flags: List[bool] = [False] * num_masters
         self.deadline_misses = 0
         self.deadline_hits = 0
 
@@ -95,6 +98,7 @@ class QosRegisterFile:
         """Install *setting* for *master*."""
         self._check_master(master)
         self._settings[master] = setting
+        self._rt_flags[master] = setting.real_time
 
     def write_word(self, master: int, word: int) -> None:
         """Register-word write path (software-visible encoding)."""
@@ -110,7 +114,10 @@ class QosRegisterFile:
         return self._settings[master]
 
     def is_real_time(self, master: int) -> bool:
-        return self.setting(master).real_time
+        if 0 <= master < self.num_masters:
+            return self._rt_flags[master]
+        self._check_master(master)
+        return False  # pragma: no cover - _check_master always raises
 
     def _check_master(self, master: int) -> None:
         if master not in self._settings:

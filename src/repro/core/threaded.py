@@ -153,12 +153,7 @@ class ThreadedAhbPlusBus:
         return self.slaves[index], self.bus_interfaces[index]
 
     def _make_ctx(self, now: int, candidates: Sequence[Candidate]) -> ArbitrationContext:
-        hazard = any(
-            not cand.from_write_buffer
-            and not cand.txn.is_write
-            and self.write_buffer.conflicts_with(cand.txn)
-            for cand in candidates
-        )
+        hazard = self.write_buffer.read_hazard(candidates)
         _slave, bi = self._route(candidates[0].txn)
         return ArbitrationContext(
             now=now,

@@ -107,6 +107,26 @@ class WriteBuffer:
 
     # -- hazard detection ---------------------------------------------------------------
 
+    def read_hazard(self, candidates) -> bool:
+        """True when any non-buffer read candidate overlaps a buffered write.
+
+        The shared RAW-hazard predicate every bus engine feeds into
+        :class:`~repro.core.filters.ArbitrationContext` — occupancy is
+        checked once up front so the common empty-buffer round costs a
+        single test.  *candidates* is any iterable of
+        :class:`~repro.core.filters.Candidate`.
+        """
+        if not self._drains:
+            return False
+        for cand in candidates:
+            if (
+                not cand.from_write_buffer
+                and not cand.txn.is_write
+                and self.conflicts_with(cand.txn)
+            ):
+                return True
+        return False
+
     def conflicts_with(self, txn: Transaction) -> bool:
         """True when *txn* (a read) overlaps any buffered write's bytes."""
         if txn.is_write or not self._drains:

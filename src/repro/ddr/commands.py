@@ -40,7 +40,7 @@ COMMAND_PRIORITY = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BankAddress:
     """A device address decomposed into bank / row / column."""
 
@@ -56,20 +56,24 @@ def decode_address(
 
     Layout is row : bank : column (column in the low bits), the common
     choice that keeps sequential bursts inside one row while letting
-    bank-striped traffic interleave.
+    bank-striped traffic interleave.  The masks and shifts come from the
+    tables :class:`~repro.ddr.timing.DdrTiming` precomputes at
+    construction, so a decode is four integer operations.
     """
     if addr < 0:
         raise MemoryError_(f"negative address {addr:#x}")
     word = addr // bus_bytes
-    col = word & (timing.words_per_row - 1)
-    bank = (word >> timing.col_bits) & (timing.num_banks - 1)
-    row = word >> (timing.col_bits + timing.bank_bits)
-    if row >= (1 << timing.row_bits):
+    row = word >> timing._row_shift
+    if row >= timing._row_limit:
         raise MemoryError_(
             f"address {addr:#x} beyond device capacity "
             f"({timing.total_words * bus_bytes} bytes)"
         )
-    return BankAddress(bank=bank, row=row, col=col)
+    return BankAddress(
+        bank=(word >> timing._bank_shift) & timing._bank_mask,
+        row=row,
+        col=word & timing._col_mask,
+    )
 
 
 def encode_address(

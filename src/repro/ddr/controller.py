@@ -94,14 +94,36 @@ class DdrControllerTlm(TlmSlave):
     # -- data service -----------------------------------------------------------
 
     def _segments(self, txn: Transaction) -> List[Tuple[BankAddress, List[int]]]:
-        """Split the burst's beats into runs sharing one (bank, row)."""
+        """Split the burst's beats into runs sharing one (bank, row).
+
+        Inlines the address decode using the timing's precomputed
+        masks/shifts: this runs once per beat and dominated the TLM
+        serve path before it was flattened to integer arithmetic.
+        """
+        timing = self.timing
+        bus_bytes = self.bus_bytes
+        row_shift = timing._row_shift
+        row_limit = timing._row_limit
+        bank_shift = timing._bank_shift
+        bank_mask = timing._bank_mask
+        col_mask = timing._col_mask
         segments: List[Tuple[BankAddress, List[int]]] = []
+        cur_bank = cur_row = -1
+        cur_addrs: List[int] = []
         for addr in transaction_addresses(txn):
-            baddr = decode_address(addr, self.timing, self.bus_bytes)
-            if segments and _same_row(segments[-1][0], baddr):
-                segments[-1][1].append(addr)
+            word = addr // bus_bytes
+            row = word >> row_shift
+            if row >= row_limit or addr < 0:
+                decode_address(addr, timing, bus_bytes)  # raises the canonical error
+            bank = (word >> bank_shift) & bank_mask
+            if bank == cur_bank and row == cur_row:
+                cur_addrs.append(addr)
             else:
-                segments.append((baddr, [addr]))
+                cur_bank, cur_row = bank, row
+                cur_addrs = [addr]
+                segments.append(
+                    (BankAddress(bank=bank, row=row, col=word & col_mask), cur_addrs)
+                )
         return segments
 
     def serve(self, txn: Transaction, start_cycle: int) -> int:

@@ -59,6 +59,8 @@ class CommandScheduler:
         self.banks = banks
         self.queue: List[PendingAccess] = []
         self._rrd_timer = 0  # cycles until another ACTIVATE is legal
+        #: tRRD memoized out of the per-cycle decide/issue path.
+        self._t_rrd = timing.t_rrd
         self.commands_issued = {cmd: 0 for cmd in DdrCommand}
 
     # -- queue management -----------------------------------------------------
@@ -130,7 +132,7 @@ class CommandScheduler:
         if command is DdrCommand.ACTIVATE:
             assert access is not None
             bank.activate(access.baddr.row)
-            self._rrd_timer = self.timing.t_rrd
+            self._rrd_timer = self._t_rrd
         elif command is DdrCommand.PRECHARGE:
             bank.precharge()
         self.commands_issued[command] += 1

@@ -78,21 +78,32 @@ class DdrTiming:
                 raise ConfigError(f"{name} must be >= 1")
         if self.row_bits < 1 or self.col_bits < 1:
             raise ConfigError("row_bits/col_bits must be >= 1")
+        # Precomputed decode tables: geometry is immutable, so every
+        # mask/shift the per-beat address decode needs is derived once
+        # here instead of per lookup (the decode is the hottest DDR
+        # arithmetic in both abstraction levels).
+        bank_bits = self.num_banks.bit_length() - 1
+        object.__setattr__(self, "_bank_bits", bank_bits)
+        object.__setattr__(self, "_col_mask", (1 << self.col_bits) - 1)
+        object.__setattr__(self, "_bank_mask", self.num_banks - 1)
+        object.__setattr__(self, "_bank_shift", self.col_bits)
+        object.__setattr__(self, "_row_shift", self.col_bits + bank_bits)
+        object.__setattr__(self, "_row_limit", 1 << self.row_bits)
 
     @property
     def bank_bits(self) -> int:
         """Bits of the word address selecting the bank."""
-        return self.num_banks.bit_length() - 1
+        return self._bank_bits
 
     @property
     def words_per_row(self) -> int:
         """Bus-width words per open row (the row-hit window)."""
-        return 1 << self.col_bits
+        return self._col_mask + 1
 
     @property
     def total_words(self) -> int:
         """Total addressable bus-width words of the device."""
-        return 1 << (self.row_bits + self.bank_bits + self.col_bits)
+        return 1 << (self.row_bits + self._bank_bits + self.col_bits)
 
     def row_miss_penalty(self) -> int:
         """Worst-case extra cycles a row miss costs over a row hit."""

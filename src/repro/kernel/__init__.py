@@ -1,13 +1,18 @@
 """Simulation kernel: event-driven scheduler and 2-step cycle engine.
 
 The transaction-level models run on :class:`Simulator` (sparse,
-per-transaction events); the pin-accurate RTL reference runs on
-:class:`CycleEngine` (dense, per-cycle evaluate/update sweeps).  Both
-count time in integer bus cycles so accuracy comparisons are exact.
+per-transaction events over a *bucketed* :class:`EventQueue` — one heap
+entry per distinct timestamp, FIFO deques within it); the pin-accurate
+RTL reference runs on :class:`CycleEngine` (per-cycle evaluate/update
+with registered *sensitivity lists*, so only combinational processes
+whose inputs changed re-evaluate).  Both count time in integer bus
+cycles so accuracy comparisons are exact, and both are observably
+equivalent to their naive full-sweep forms — see the module docstrings
+of :mod:`repro.kernel.events` and :mod:`repro.kernel.cycle`.
 """
 
 from repro.kernel.clock import Clock
-from repro.kernel.cycle import CycleEngine, MAX_SETTLE_ITERATIONS
+from repro.kernel.cycle import CombHandle, CycleEngine, MAX_SETTLE_ITERATIONS
 from repro.kernel.events import Event, EventQueue
 from repro.kernel.process import (
     MethodProcess,
@@ -26,6 +31,7 @@ from repro.kernel.tracing import VcdTracer
 
 __all__ = [
     "Clock",
+    "CombHandle",
     "CycleEngine",
     "Event",
     "EventQueue",

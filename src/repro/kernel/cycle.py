@@ -4,26 +4,46 @@ The paper reports using a "2-step cycle-based simulation tool" to speed
 up validation of the AHB+ models.  This module implements that engine:
 every clock cycle consists of exactly two steps,
 
-1. **Evaluate** — all combinational processes run, repeatedly, until no
+1. **Evaluate** — combinational processes run, repeatedly, until no
    signal changes (a bounded settle loop; exceeding the bound means the
    netlist has a combinational feedback loop and raises
    :class:`~repro.errors.CombinationalLoopError`), then
 2. **Update** — all sequential processes observe the settled signal
    values and register their next state via
    :meth:`~repro.kernel.signal.Signal.drive_next`; afterwards every
-   registered signal commits, and commits are followed by one more
-   settle pass so combinational outputs reflect the new state.
+   driven signal commits, and commits are followed by one more settle
+   pass so combinational outputs reflect the new state.
 
-Compared to an event-driven simulator this engine never maintains a
-per-signal sensitivity queue — it simply sweeps the whole netlist each
-cycle, which is exactly the cost model of commercial cycle-based tools
-(fast for dense activity like an RTL bus model, wasteful for sparse
-activity, which is why the TLM bypasses it entirely).
+Sensitivity semantics
+---------------------
+The engine supports *registered sensitivity lists*: a combinational
+process registered with ``add_combinational(fn, sensitive_to=[...])``
+is re-evaluated only when one of its declared input signals changed —
+change tracking is push-based (each signal change marks its dependent
+processes dirty through a watcher), so a settle pass costs O(dirty
+processes) instead of O(netlist).  A process registered without a
+sensitivity list is *static* and runs every pass, exactly as the
+original full-sweep engine did.
+
+Two obligations come with a sensitivity list and both are enforced by
+convention (and verified by the RTL equivalence tests):
+
+* the process must be a pure function of its declared signals plus
+  component state that only mutates in the sequential phase, and
+* a sequential process that mutates such component state must call
+  ``touch()`` on the handle returned by :meth:`add_combinational`, so
+  the next evaluate phase re-runs the process even though no signal
+  changed.
+
+Commit semantics are untouched: the engine observes the same settled
+values, commits registered drives simultaneously, and produces
+cycle-identical traces to the full sweep (pass ``sensitivity=False`` to
+get the original sweep-everything behaviour for cross-checks).
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.errors import CombinationalLoopError, SimulationError
 from repro.kernel.signal import Signal
@@ -36,28 +56,122 @@ SeqProcess = Callable[[], None]
 MAX_SETTLE_ITERATIONS = 64
 
 
+class CombHandle:
+    """Registration handle for one combinational process.
+
+    ``static`` processes (no sensitivity list) run every evaluate pass;
+    sensitivity-listed processes run only while ``dirty``.  Sequential
+    code that mutates state the process reads must call :meth:`touch`.
+    """
+
+    __slots__ = ("fn", "dirty", "static")
+
+    def __init__(self, fn: CombProcess, static: bool) -> None:
+        self.fn = fn
+        self.static = static
+        self.dirty = True
+
+    def touch(self) -> None:
+        """Force re-evaluation in the next settle pass."""
+        self.dirty = True
+
+
 class CycleEngine:
     """Two-step (evaluate/update) cycle-based simulator.
 
-    Components register combinational processes, sequential processes
-    and the signals they drive.  :meth:`step` advances exactly one clock
-    cycle; :meth:`run` advances many.
+    Components register combinational processes (optionally with a
+    sensitivity list), sequential processes and the signals they drive.
+    :meth:`step` advances exactly one clock cycle; :meth:`run` advances
+    many.
+
+    Parameters
+    ----------
+    sensitivity:
+        When true (default), sensitivity-listed combinational processes
+        are skipped while their inputs are unchanged.  When false the
+        engine sweeps every process every pass — the original reference
+        behaviour, kept for equivalence testing.
     """
 
-    def __init__(self, name: str = "cycle-engine") -> None:
+    def __init__(self, name: str = "cycle-engine", sensitivity: bool = True) -> None:
         self.name = name
-        self._comb: List[CombProcess] = []
+        self._comb: List[CombHandle] = []
         self._seq: List[SeqProcess] = []
         self._signals: List[Signal] = []
         self._cycle = 0
         self._eval_passes = 0
         self._on_cycle_end: List[Callable[[int], None]] = []
+        self._sensitivity = sensitivity
+        #: signal -> dependent combinational handles (shared with the
+        #: watcher closures, so late registrations extend them in place).
+        #: Keyed by the Signal object (identity hash), which also keeps
+        #: sensitivity-list signals alive for the engine's lifetime.
+        self._deps: Dict[Signal, List[CombHandle]] = {}
+        #: signals that already carry an engine watcher, mapped to
+        #: whether that watcher also reports settle-convergence changes.
+        self._watched: Dict[Signal, bool] = {}
+        #: Signals driven via drive_next since the last commit phase.
+        self._pending_commits: List[Signal] = []
+        #: True when any *registered* signal changed in the current pass.
+        self._pass_changed = False
 
     # -- registration ---------------------------------------------------------
 
-    def add_combinational(self, process: CombProcess) -> None:
-        """Register a combinational process (runs every evaluate pass)."""
-        self._comb.append(process)
+    def _dep_list(self, sig: Signal) -> List[CombHandle]:
+        deps = self._deps.get(sig)
+        if deps is None:
+            deps = []
+            self._deps[sig] = deps
+        return deps
+
+    def _attach_watcher(self, sig: Signal, registered: bool) -> None:
+        """Attach the engine's change watcher to *sig* (at most once each kind)."""
+        already = self._watched.get(sig)
+        if already is None:
+            deps = self._dep_list(sig)
+            if registered:
+
+                def on_change(_sig: Signal, deps: List[CombHandle] = deps) -> None:
+                    self._pass_changed = True
+                    for handle in deps:
+                        handle.dirty = True
+
+            else:
+
+                def on_change(_sig: Signal, deps: List[CombHandle] = deps) -> None:
+                    for handle in deps:
+                        handle.dirty = True
+
+            sig.watch(on_change)
+            self._watched[sig] = registered
+        elif registered and not already:
+            # Was watched for dependency marking only (sensitivity list
+            # registered before add_signal); add convergence reporting.
+            def on_registered(_sig: Signal) -> None:
+                self._pass_changed = True
+
+            sig.watch(on_registered)
+            self._watched[sig] = True
+
+    def add_combinational(
+        self,
+        process: CombProcess,
+        sensitive_to: Optional[Sequence[Signal]] = None,
+    ) -> CombHandle:
+        """Register a combinational process; returns its :class:`CombHandle`.
+
+        Without *sensitive_to* the process is static (runs every
+        evaluate pass).  With a sensitivity list it runs only when one
+        of the listed signals changed since its last evaluation — see
+        the module docstring for the purity/touch obligations.
+        """
+        handle = CombHandle(process, static=sensitive_to is None)
+        self._comb.append(handle)
+        if sensitive_to is not None:
+            for sig in sensitive_to:
+                self._dep_list(sig).append(handle)
+                self._attach_watcher(sig, registered=False)
+        return handle
 
     def add_sequential(self, process: SeqProcess) -> None:
         """Register a sequential process (runs once per cycle, at the edge)."""
@@ -65,7 +179,10 @@ class CycleEngine:
 
     def add_signal(self, *signals: Signal) -> None:
         """Register signals so their registered drives commit at the edge."""
-        self._signals.extend(signals)
+        for sig in signals:
+            self._signals.append(sig)
+            self._attach_watcher(sig, registered=True)
+            sig.attach_commit_hook(self._pending_commits.append)
 
     def add_cycle_hook(self, hook: Callable[[int], None]) -> None:
         """Call ``hook(cycle)`` at the end of every cycle (tracing, monitors)."""
@@ -83,26 +200,54 @@ class CycleEngine:
         """Total evaluate-phase passes executed (a cost/diagnostic metric)."""
         return self._eval_passes
 
+    @property
+    def sensitivity_enabled(self) -> bool:
+        """Whether sensitivity-based process skipping is active."""
+        return self._sensitivity
+
     # -- execution ---------------------------------------------------------------
 
     def _settle(self) -> None:
-        """Run combinational processes until no signal changes."""
-        for sig in self._signals:
-            sig.consume_changed()
-        for _iteration in range(MAX_SETTLE_ITERATIONS):
-            self._eval_passes += 1
-            for process in self._comb:
-                process()
-            changed = False
+        """Run combinational processes until no registered signal changes."""
+        comb = self._comb
+        if self._sensitivity:
+            for _iteration in range(MAX_SETTLE_ITERATIONS):
+                self._eval_passes += 1
+                self._pass_changed = False
+                for handle in comb:
+                    if handle.dirty or handle.static:
+                        handle.dirty = False
+                        handle.fn()
+                if not self._pass_changed:
+                    return
+        else:
+            # Reference full sweep: every process, every pass, with
+            # convergence read from the per-signal changed flags.
             for sig in self._signals:
-                if sig.consume_changed():
-                    changed = True
-            if not changed:
-                return
+                sig.consume_changed()
+            for _iteration in range(MAX_SETTLE_ITERATIONS):
+                self._eval_passes += 1
+                for handle in comb:
+                    handle.fn()
+                changed = False
+                for sig in self._signals:
+                    if sig.consume_changed():
+                        changed = True
+                if not changed:
+                    return
         raise CombinationalLoopError(
             f"{self.name}: combinational logic failed to settle in "
             f"{MAX_SETTLE_ITERATIONS} iterations at cycle {self._cycle}"
         )
+
+    def _commit_pending(self) -> None:
+        """Commit every signal driven since the last edge (order-stable)."""
+        pending = self._pending_commits
+        if pending:
+            for sig in pending:
+                sig._commit_queued = False
+                sig.commit()
+            pending.clear()
 
     def step(self) -> None:
         """Advance one clock cycle (evaluate, then update)."""
@@ -112,8 +257,7 @@ class CycleEngine:
         for process in self._seq:
             process()
         # ...then registered outputs become visible, simultaneously.
-        for sig in self._signals:
-            sig.commit()
+        self._commit_pending()
         # New register values must propagate through combinational logic
         # before monitors sample end-of-cycle state.
         self._settle()

@@ -26,7 +26,17 @@ _UNSET = object()
 class Signal:
     """A named, width-checked wire with two-phase update semantics."""
 
-    __slots__ = ("name", "width", "_value", "_next", "_changed", "_watchers", "_mask")
+    __slots__ = (
+        "name",
+        "width",
+        "_value",
+        "_next",
+        "_changed",
+        "_watchers",
+        "_mask",
+        "_commit_hook",
+        "_commit_queued",
+    )
 
     def __init__(self, name: str, width: int = 1, reset: int = 0) -> None:
         if width < 1 or width > 128:
@@ -38,15 +48,20 @@ class Signal:
         self._next: object = _UNSET
         self._changed = False
         self._watchers: List[Callable[["Signal"], None]] = []
+        # Set by a cycle engine so it only commits signals that were
+        # actually driven this cycle instead of sweeping the netlist.
+        self._commit_hook: Optional[Callable[["Signal"], None]] = None
+        self._commit_queued = False
 
     def _coerce(self, value: object) -> int:
-        if isinstance(value, bool):
-            value = int(value)
-        if not isinstance(value, int):
-            raise SimulationError(
-                f"signal {self.name}: non-integer value {value!r}"
-            )
-        return value & self._mask
+        # Exact-type test first: plain ints dominate the hot path.
+        if type(value) is int:
+            return value & self._mask
+        if isinstance(value, int):  # bool, IntEnum, other int subclasses
+            return int(value) & self._mask
+        raise SimulationError(
+            f"signal {self.name}: non-integer value {value!r}"
+        )
 
     # -- read ---------------------------------------------------------------
 
@@ -80,6 +95,22 @@ class Signal:
     def drive_next(self, value: object) -> None:
         """Schedule *value* to appear at the next :meth:`commit` (clock edge)."""
         self._next = self._coerce(value)
+        if self._commit_hook is not None and not self._commit_queued:
+            self._commit_queued = True
+            self._commit_hook(self)
+
+    def attach_commit_hook(self, hook: Callable[["Signal"], None]) -> None:
+        """Let a cycle engine track which signals need committing.
+
+        A registered drive issued *before* attachment (reset idiom:
+        ``sig.drive_next(v)`` in a component constructor, engine
+        registration later) is immediately reported through *hook* so it
+        still commits at the first edge.
+        """
+        self._commit_hook = hook
+        if self._next is not _UNSET and not self._commit_queued:
+            self._commit_queued = True
+            hook(self)
 
     def commit(self) -> bool:
         """Publish the pending registered value, if any.

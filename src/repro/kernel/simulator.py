@@ -84,19 +84,28 @@ class Simulator:
             raise SimulationError("run() re-entered; the kernel is not reentrant")
         self._running = True
         self._stopped = False
+        queue = self._queue
+        # Validate once at entry instead of per event: the bucketed queue
+        # pops in non-decreasing time order by construction, and every
+        # schedule_* call rejects past times, so checking the head here
+        # covers the whole run.
+        first = queue.peek_time()
+        if first is not None and first < self._now:
+            raise SchedulingError(
+                f"event queue corrupted: head {first} < now {self._now}"
+            )
         try:
-            while self._queue and not self._stopped:
-                next_time = self._queue.peek_time()
-                assert next_time is not None
-                if until is not None and next_time > until:
-                    break
-                time, action = self._queue.pop()
-                if time < self._now:
-                    raise SchedulingError(
-                        f"event queue corrupted: popped {time} < now {self._now}"
-                    )
-                self._now = time
-                action()
+            if until is None:
+                while queue and not self._stopped:
+                    self._now, action = queue.pop()
+                    action()
+            else:
+                while queue and not self._stopped:
+                    next_time = queue.peek_time()
+                    if next_time > until:  # type: ignore[operator]
+                        break
+                    self._now, action = queue.pop()
+                    action()
             if until is not None and self._now < until:
                 self._now = until
         finally:

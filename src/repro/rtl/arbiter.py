@@ -71,6 +71,13 @@ class ArbiterRtl:
         self.grants_issued = 0
         self.pipelined_grants = 0
         self.bi_next_info = 0
+        # Reused across rounds; _ctx() refreshes every varying field.
+        self._ctx_cache = ArbitrationContext(
+            now=0,
+            access_score=self._ddrc_score,
+            urgency_margin=config.urgency_margin,
+            starvation_limit=config.starvation_limit,
+        )
 
     # -- candidate assembly ------------------------------------------------------
 
@@ -100,23 +107,13 @@ class ArbiterRtl:
         return candidates
 
     def _ctx(self, now: int, candidates: Sequence[Candidate]) -> ArbitrationContext:
-        hazard = any(
-            not cand.from_write_buffer
-            and not cand.txn.is_write
-            and self.write_buffer.conflicts_with(cand.txn)
-            for cand in candidates
-        )
-        return ArbitrationContext(
-            now=now,
-            write_buffer_occupancy=self.write_buffer.occupancy,
-            write_buffer_depth=(
-                self.write_buffer.depth if self.write_buffer.enabled else 0
-            ),
-            read_hazard=hazard,
-            access_score=self._ddrc_score,
-            urgency_margin=self.config.urgency_margin,
-            starvation_limit=self.config.starvation_limit,
-        )
+        buffer = self.write_buffer
+        ctx = self._ctx_cache
+        ctx.now = now
+        ctx.write_buffer_occupancy = buffer.occupancy
+        ctx.write_buffer_depth = buffer.depth if buffer.enabled else 0
+        ctx.read_hazard = buffer.read_hazard(candidates)
+        return ctx
 
     # -- grant plumbing ---------------------------------------------------------------
 

@@ -59,7 +59,12 @@ class MasterRtl:
         self._txn: Optional[Transaction] = None
         self._beat = 0
         self._captured: List[int] = []
-        engine.add_combinational(self.evaluate)
+        # evaluate() is a function of (hgrant, bus_available) plus FSM
+        # state that only mutates in the sequential phase; update() and
+        # absorb_current() touch the handle whenever that state moves.
+        self._eval = engine.add_combinational(
+            self.evaluate, sensitive_to=(signals.hgrant, bus.bus_available)
+        )
 
     # -- views --------------------------------------------------------------------
 
@@ -111,6 +116,9 @@ class MasterRtl:
     def update(self) -> None:
         """Advance the FSM at the end of cycle ``engine.cycle``."""
         now = self.engine.cycle
+        state0 = self.state
+        txn0 = self._txn
+        beat0 = self._beat
         if self.state is MasterState.DATA:
             self._update_data(now)
         elif self.state is MasterState.REQUEST:
@@ -124,6 +132,12 @@ class MasterRtl:
                 self._captured = []
         if self.state is MasterState.IDLE:
             self._fetch(now)
+        if (
+            self.state is not state0
+            or self._txn is not txn0
+            or self._beat != beat0
+        ):
+            self._eval.touch()
 
     def _update_data(self, now: int) -> None:
         txn = self._txn
@@ -163,4 +177,5 @@ class MasterRtl:
         self.agent.absorb(txn, cycle)
         self._txn = None
         self.state = MasterState.IDLE
+        self._eval.touch()
         return txn

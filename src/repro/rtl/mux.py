@@ -27,7 +27,23 @@ class BusMux:
         #: Indexed by owner index; the write buffer's bundle sits last.
         self.master_signals = master_signals
         self.bus = bus
-        engine.add_combinational(self.evaluate)
+        # The mux is a pure function of the per-master bundles it routes
+        # plus the data-phase owner register — its sensitivity list.
+        sens = []
+        for bundle in master_signals:
+            sens.extend(
+                (
+                    bundle.htrans,
+                    bundle.haddr,
+                    bundle.hwrite,
+                    bundle.hburst,
+                    bundle.hlen,
+                    bundle.hsize,
+                    bundle.hwdata,
+                )
+            )
+        sens.append(bus.stream_owner)
+        engine.add_combinational(self.evaluate, sensitive_to=sens)
 
     def evaluate(self) -> None:
         """Drive the shared address/control and write-data buses."""

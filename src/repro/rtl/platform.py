@@ -104,10 +104,17 @@ def build_rtl_platform(
     workload: Workload,
     config: Optional[AhbPlusConfig] = None,
     trace: bool = False,
+    full_sweep: bool = False,
 ) -> RtlPlatform:
-    """Assemble the pin-accurate AHB+ platform for *workload*."""
+    """Assemble the pin-accurate AHB+ platform for *workload*.
+
+    ``full_sweep=True`` disables the cycle engine's sensitivity-based
+    process skipping and reverts to the reference sweep-everything
+    evaluate phase; the equivalence tests use it to assert that both
+    modes produce cycle-identical traces.
+    """
     cfg = config_for_workload(workload, config)
-    engine = CycleEngine(name=f"rtl:{workload.name}")
+    engine = CycleEngine(name=f"rtl:{workload.name}", sensitivity=not full_sweep)
     agents = workload.build_masters()
 
     bus = SharedBusSignals(bus_width_bits=cfg.bus_width_bytes * 8)

@@ -46,7 +46,11 @@ class BufferMasterRtl:
         self.state = DrainState.IDLE
         self._txn: Optional[Transaction] = None
         self._beat = 0
-        engine.add_combinational(self.evaluate)
+        # Same touch discipline as MasterRtl: evaluate() reads only
+        # (hgrant, bus_available) and sequential-phase FSM state.
+        self._eval = engine.add_combinational(
+            self.evaluate, sensitive_to=(signals.hgrant, bus.bus_available)
+        )
 
     @property
     def current_transaction(self) -> Optional[Transaction]:
@@ -92,6 +96,9 @@ class BufferMasterRtl:
 
     def update(self) -> None:
         now = self.engine.cycle
+        state0 = self.state
+        txn0 = self._txn
+        beat0 = self._beat
         if self.state is DrainState.DATA:
             txn = self._txn
             assert txn is not None
@@ -122,3 +129,9 @@ class BufferMasterRtl:
             if head is not None:
                 self._txn = head
                 self.state = DrainState.REQUEST
+        if (
+            self.state is not state0
+            or self._txn is not txn0
+            or self._beat != beat0
+        ):
+            self._eval.touch()

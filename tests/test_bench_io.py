@@ -1,0 +1,122 @@
+"""Tests for the persistent speed-benchmark harness (bench_io)."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.bench_io import (
+    MODELS,
+    compare_reports,
+    load_report,
+    make_report,
+    render_block,
+    run_speed_suite,
+    same_host,
+    speedups_vs,
+    write_report,
+)
+
+REPO_ROOT = Path(__file__).parent.parent
+BENCH_PATH = REPO_ROOT / "BENCH_speed.json"
+
+
+def _block(tlm=100.0, single=300.0, rtl=10.0, rev="abc1234"):
+    return {
+        "git_rev": rev,
+        "models": {
+            "tlm_method": {
+                "kcycles_per_sec": tlm,
+                "simulated_cycles": 1000,
+                "wall_seconds": 0.01,
+            },
+            "tlm_single_master": {
+                "kcycles_per_sec": single,
+                "simulated_cycles": 1000,
+                "wall_seconds": 0.003,
+            },
+            "rtl": {
+                "kcycles_per_sec": rtl,
+                "simulated_cycles": 1000,
+                "wall_seconds": 0.1,
+            },
+        },
+        "tlm_over_rtl_speedup": tlm / rtl,
+    }
+
+
+class TestReportShapes:
+    def test_suite_produces_all_models(self):
+        block = run_speed_suite(repeats_tlm=1, repeats_rtl=1)
+        for model in MODELS:
+            sample = block["models"][model]
+            assert sample["kcycles_per_sec"] > 0
+            assert sample["simulated_cycles"] > 0
+        assert block["tlm_over_rtl_speedup"] > 1
+        assert "Kcycles/s" in render_block(block)
+
+    def test_make_report_round_trip(self, tmp_path):
+        current = _block(tlm=200.0)
+        seed = _block(tlm=100.0, rev="seed000")
+        report = make_report(current, seed=seed)
+        path = tmp_path / "BENCH_speed.json"
+        write_report(path, report)
+        loaded = load_report(path)
+        assert loaded == report
+        assert loaded["speedup_vs_seed"]["tlm_method"] == 2.0
+
+    def test_make_report_without_seed_uses_current(self):
+        current = _block()
+        report = make_report(current)
+        assert report["seed"] == current
+        assert report["speedup_vs_seed"]["rtl"] == 1.0
+
+
+class TestRegressionCheck:
+    def test_within_threshold_passes(self):
+        baseline = make_report(_block(tlm=100.0))
+        fresh = _block(tlm=85.0)  # 15% down: inside the 20% tolerance
+        assert compare_reports(fresh, baseline) == []
+
+    def test_regression_detected(self):
+        baseline = make_report(_block(tlm=100.0))
+        fresh = _block(tlm=70.0)  # 30% down
+        failures = compare_reports(fresh, baseline)
+        assert len(failures) == 1
+        assert "tlm_method" in failures[0]
+
+    def test_speedups_vs(self):
+        ratios = speedups_vs(_block(tlm=150.0, rtl=20.0), _block(tlm=100.0, rtl=10.0))
+        assert ratios["tlm_method"] == 1.5
+        assert ratios["rtl"] == 2.0
+
+    def test_cross_host_baseline_is_not_graded(self):
+        """Absolute Kcycles/s from another machine must not fail the gate."""
+        baseline_block = _block(tlm=1000.0)
+        baseline_block["host"] = "build-farm-a"
+        baseline = make_report(baseline_block)
+        fresh = _block(tlm=100.0)  # 10x slower host
+        fresh["host"] = "laptop-b"
+        assert not same_host(fresh, baseline)
+        assert compare_reports(fresh, baseline) == []
+        # Same (or unrecorded) host still grades strictly.
+        fresh["host"] = "build-farm-a"
+        assert same_host(fresh, baseline)
+        assert compare_reports(fresh, baseline)
+
+
+class TestCommittedBaseline:
+    """The committed BENCH_speed.json is the PR's speed evidence."""
+
+    def test_baseline_exists_and_parses(self):
+        report = json.loads(BENCH_PATH.read_text())
+        assert report["schema"] == 1
+        for block_name in ("seed", "current"):
+            models = report[block_name]["models"]
+            for model in MODELS:
+                assert models[model]["kcycles_per_sec"] > 0
+
+    def test_recorded_speedup_meets_targets(self):
+        """Before/after on the recording host: >=1.5x TLM, >=1.3x RTL."""
+        report = json.loads(BENCH_PATH.read_text())
+        ratios = report["speedup_vs_seed"]
+        assert ratios["tlm_method"] >= 1.5
+        assert ratios["rtl"] >= 1.3

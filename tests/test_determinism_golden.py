@@ -1,0 +1,66 @@
+"""Determinism regression: the TLM must replay a committed golden trace.
+
+The hot-path work (single-candidate arbitration fast path, cached
+arbitration context, bucketed event queue) must be *observably
+equivalence-preserving*: with a fixed seed the engine has to produce the
+exact grant sequence, per-filter narrowing statistics and cycle count it
+produced before the optimisations.  The golden trace in
+``tests/data/golden_trace_pattern_a.json`` was captured from the seed
+implementation; any silent reordering of arbitration fails here.
+"""
+
+import json
+from pathlib import Path
+
+from repro.core import build_tlm_platform
+from repro.traffic import table1_pattern_a
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_trace_pattern_a.json"
+
+
+def _run_traced():
+    golden = json.loads(GOLDEN_PATH.read_text())
+    workload = table1_pattern_a(golden["transactions_per_master"])
+    assert workload.seed == golden["seed"]
+    platform = build_tlm_platform(workload, engine="method")
+    trace = []
+
+    def observer(txn, grant, start, finish):
+        trace.append(
+            [
+                txn.master,
+                "W" if txn.is_write else "R",
+                txn.addr,
+                txn.beats,
+                int(txn.via_write_buffer),
+                grant,
+                start,
+                finish,
+            ]
+        )
+
+    platform.bus.add_observer(observer)
+    result = platform.run()
+    return golden, trace, result
+
+
+class TestGoldenTrace:
+    def test_grant_sequence_matches_golden(self):
+        golden, trace, _result = _run_traced()
+        assert len(trace) == len(golden["grants"])
+        for index, (got, want) in enumerate(zip(trace, golden["grants"])):
+            assert got == want, f"grant #{index} diverged: {got} != {want}"
+
+    def test_filter_stats_and_counters_match_golden(self):
+        golden, _trace, result = _run_traced()
+        assert result.filter_stats == golden["filter_stats"]
+        assert result.cycles == golden["cycles"]
+        assert result.pipelined_grants == golden["pipelined_grants"]
+        assert result.absorbed_writes == golden["absorbed_writes"]
+        assert result.drained_writes == golden["drained_writes"]
+
+    def test_back_to_back_runs_identical(self):
+        """Two fresh platforms under one seed replay identically."""
+        _golden, first, _res = _run_traced()
+        _golden, second, _res = _run_traced()
+        assert first == second
