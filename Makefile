@@ -1,10 +1,15 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline bench-tables
+.PHONY: test smoke bench bench-baseline bench-tables
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Run every script under examples/ to completion (import-and-run guard).
+# The same checks run inside the tier-1 flow via tests/test_examples_smoke.py.
+smoke:
+	$(PYTHON) -m pytest tests/test_examples_smoke.py -q
 
 # Run the §4 speed suite and fail on >20% regression vs BENCH_speed.json.
 bench:

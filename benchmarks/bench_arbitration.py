@@ -8,11 +8,8 @@ RT/NRT suite and reports throughput and deadline behaviour.
 import pytest
 
 from repro.analysis import experiment_filters
-from repro.core import build_tlm_platform
-from repro.core.platform import config_for_workload
+from repro.system import paper_topology, sweep
 from repro.traffic import table1_pattern_c
-
-from dataclasses import replace
 
 from benchmarks.conftest import SCALE
 
@@ -37,15 +34,14 @@ def test_filter_ablation_series():
     "disabled", ["none", "urgency", "bank", "pressure"]
 )
 def test_benchmark_filters(benchmark, disabled):
-    workload = table1_pattern_c(SCALE // 2)
-    base = config_for_workload(workload)
-    cfg = (
-        base
-        if disabled == "none"
-        else replace(base, disabled_filters=(disabled,))
+    spec = paper_topology(workload=table1_pattern_c(SCALE // 2))
+    (point,) = sweep(
+        spec,
+        axis="disabled_filters",
+        values=(() if disabled == "none" else (disabled,),),
     )
 
     def run():
-        return build_tlm_platform(workload, config=cfg).run().cycles
+        return point.build().run().cycles
 
     assert benchmark(run) > 0

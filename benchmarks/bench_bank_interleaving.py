@@ -9,11 +9,8 @@ BI-off on a row-missing, bank-striped workload.
 import pytest
 
 from repro.analysis import experiment_bank_interleaving
-from repro.core import build_tlm_platform
-from repro.core.platform import config_for_workload
+from repro.system import paper_topology, sweep
 from repro.traffic import bank_striped_workload
-
-from dataclasses import replace
 
 from benchmarks.conftest import SCALE
 
@@ -38,12 +35,10 @@ def test_bank_interleaving_shape():
 
 @pytest.mark.parametrize("bi_enabled", [True, False], ids=["bi-on", "bi-off"])
 def test_benchmark_interleaving(benchmark, bi_enabled):
-    workload = bank_striped_workload(SCALE)
-    cfg = replace(
-        config_for_workload(workload), bus_interface_enabled=bi_enabled
-    )
+    spec = paper_topology(workload=bank_striped_workload(SCALE))
+    (point,) = sweep(spec, axis="bus_interface_enabled", values=(bi_enabled,))
 
     def run():
-        return build_tlm_platform(workload, config=cfg).run().cycles
+        return point.build().run().cycles
 
     assert benchmark(run) > 0

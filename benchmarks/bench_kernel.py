@@ -7,7 +7,7 @@ traffic per cycle.
 """
 
 from repro.analysis import kernel_comparison
-from repro.rtl import build_rtl_platform
+from repro.system import PlatformBuilder, paper_topology
 from repro.traffic import single_master_workload
 
 CYCLES = 1500
@@ -22,7 +22,9 @@ def test_benchmark_cycle_kernel(benchmark):
     """Flat evaluate/update sweeps (the paper's 2-step tool)."""
 
     def run():
-        platform = build_rtl_platform(single_master_workload(40))
+        platform = PlatformBuilder(
+            paper_topology(workload=single_master_workload(40))
+        ).build("rtl")
         platform.engine.run(CYCLES)
         return platform.engine.cycle
 
@@ -34,7 +36,9 @@ def test_benchmark_event_driven_kernel(benchmark):
     from repro.kernel.simulator import Simulator
 
     def run():
-        platform = build_rtl_platform(single_master_workload(40))
+        platform = PlatformBuilder(
+            paper_topology(workload=single_master_workload(40))
+        ).build("rtl")
         sim = Simulator()
 
         def tick():

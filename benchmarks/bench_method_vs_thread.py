@@ -6,28 +6,28 @@ results (asserted by the test suite); these benchmarks measure the
 speed difference that motivated the choice.
 """
 
-from repro.core import build_tlm_platform
+from repro.system import PlatformBuilder, paper_topology
 from repro.traffic import table1_pattern_a
 
 from benchmarks.conftest import SCALE
 
 
-def _run(engine: str) -> int:
-    platform = build_tlm_platform(table1_pattern_a(SCALE), engine=engine)
-    return platform.run().cycles
+def _run(level: str) -> int:
+    builder = PlatformBuilder(paper_topology(workload=table1_pattern_a(SCALE)))
+    return builder.build(level).run().cycles
 
 
 def test_method_and_thread_agree():
-    assert _run("method") == _run("thread")
+    assert _run("tlm") == _run("tlm-threaded")
 
 
 def test_benchmark_method_engine(benchmark):
     """Callback-driven engine (the paper's choice)."""
-    cycles = benchmark(lambda: _run("method"))
+    cycles = benchmark(lambda: _run("tlm"))
     assert cycles > 0
 
 
 def test_benchmark_thread_engine(benchmark):
     """Generator/'sc_thread' style engine (the style avoided)."""
-    cycles = benchmark(lambda: _run("thread"))
+    cycles = benchmark(lambda: _run("tlm-threaded"))
     assert cycles > 0

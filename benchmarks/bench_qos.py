@@ -7,7 +7,7 @@ stream under NRT saturation on both architectures.
 """
 
 from repro.analysis import experiment_qos
-from repro.core import build_plain_platform, build_tlm_platform
+from repro.system import PlatformBuilder, paper_topology
 from repro.traffic import saturating_workload
 
 from benchmarks.conftest import SCALE
@@ -28,11 +28,15 @@ def test_qos_guarantee_shape():
     assert ahbp.worst_latency < plain.worst_latency
 
 
+def _builder():
+    return PlatformBuilder(
+        paper_topology(workload=saturating_workload(SCALE // 2))
+    )
+
+
 def test_benchmark_plain_ahb(benchmark):
-    workload = saturating_workload(SCALE // 2)
-    assert benchmark(lambda: build_plain_platform(workload).run().cycles) > 0
+    assert benchmark(lambda: _builder().build("plain").run().cycles) > 0
 
 
 def test_benchmark_ahbplus(benchmark):
-    workload = saturating_workload(SCALE // 2)
-    assert benchmark(lambda: build_tlm_platform(workload).run().cycles) > 0
+    assert benchmark(lambda: _builder().build("tlm").run().cycles) > 0

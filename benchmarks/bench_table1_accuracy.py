@@ -36,10 +36,12 @@ def test_each_suite_functional(suite_index):
 
 
 def bench_tlm_pattern(benchmark, workload):
-    from repro.core import build_tlm_platform
+    from repro.system import PlatformBuilder, paper_topology
 
     def run():
-        return build_tlm_platform(workload).run().cycles
+        return PlatformBuilder(
+            paper_topology(workload=workload)
+        ).build("tlm").run().cycles
 
     cycles = benchmark(run)
     assert cycles > 0

@@ -8,11 +8,8 @@ writes cutting master-observed write latency.
 import pytest
 
 from repro.analysis import experiment_write_buffer
-from repro.core import build_tlm_platform
-from repro.core.platform import config_for_workload
+from repro.system import paper_topology, sweep
 from repro.traffic import write_heavy_workload
-
-from dataclasses import replace
 
 from benchmarks.conftest import SCALE
 
@@ -39,14 +36,10 @@ def test_write_buffer_series():
 
 @pytest.mark.parametrize("depth", [1, 4])
 def test_benchmark_write_buffer_depth(benchmark, depth):
-    workload = write_heavy_workload(SCALE)
-    cfg = replace(
-        config_for_workload(workload),
-        write_buffer_enabled=True,
-        write_buffer_depth=depth,
-    )
+    spec = paper_topology(workload=write_heavy_workload(SCALE))
+    (point,) = sweep(spec, axis="write_buffer_depth", values=(depth,))
 
     def run():
-        return build_tlm_platform(workload, config=cfg).run().cycles
+        return point.build().run().cycles
 
     assert benchmark(run) > 0

@@ -14,19 +14,14 @@ serialises.
 Run:  python examples/bank_interleaving.py
 """
 
-from dataclasses import replace
-
-from repro.core import build_tlm_platform
-from repro.core.platform import config_for_workload
+from repro.system import paper_topology, sweep
 from repro.traffic import bank_striped_workload
 
 
 def run(bi_enabled: bool):
-    workload = bank_striped_workload(transactions=200)
-    config = replace(
-        config_for_workload(workload), bus_interface_enabled=bi_enabled
-    )
-    platform = build_tlm_platform(workload, config=config)
+    spec = paper_topology(workload=bank_striped_workload(transactions=200))
+    (point,) = sweep(spec, axis="bus_interface_enabled", values=(bi_enabled,))
+    platform = point.build()
     result = platform.run()
     return platform, result
 

@@ -13,9 +13,8 @@ Run:  python examples/custom_arbitration.py
 
 from typing import List
 
-from repro.core import build_tlm_platform
 from repro.core.filters import ArbitrationContext, Candidate, ArbitrationFilter
-from repro.traffic import table1_pattern_a
+from repro.system import PlatformBuilder, paper_topology
 
 
 class BandwidthThrottle(ArbitrationFilter):
@@ -57,15 +56,15 @@ def mean_latency(platform, master: int) -> float:
 
 
 def run(throttled: bool):
-    workload = table1_pattern_a(transactions=200)
-    platform = build_tlm_platform(workload)
+    spec = paper_topology(transactions=200)
+    platform = PlatformBuilder(spec).build("tlm")
     throttle = None
     if throttled:
         # dma2 (master 3) gets 512 bytes per 2048-cycle window.
         throttle = BandwidthThrottle(master=3, budget_bytes=512)
         # Insert ahead of the final tie-break.
         platform.bus.arbiter.filters.insert(-1, throttle)
-        platform.bus.add_observer(
+        platform.attach(
             lambda txn, g, s, f: throttle.note_grant(
                 Candidate(txn=txn, from_write_buffer=txn.master == 255)
             )

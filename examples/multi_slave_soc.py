@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Multi-slave SoC: DDR + SRAM scratchpad + APB bridge on one AHB+ bus.
+
+The paper's model is parameterised so one description re-targets across
+abstraction levels and configurations.  This example pushes that past
+the original four-master/single-DDR platform: a three-region memory map
+(DDR main memory, a one-wait-state SRAM scratchpad, an AHB→APB bridge
+stub) described once as a :class:`~repro.system.SystemSpec` and
+elaborated at *every* engine — method TLM, plain AHB and the
+pin-accurate RTL model — exercising the decoder's multi-region routing
+on all of them.
+
+Run:  python examples/multi_slave_soc.py
+"""
+
+from repro.profiling import BusMonitor
+from repro.system import scenario, sweep
+
+
+def main() -> None:
+    spec = scenario("multi-slave-soc", transactions=80)
+
+    print(f"scenario {spec.name!r}: memory map")
+    for region in spec.address_map().regions:
+        print(
+            f"  {region.name:>6}  [{region.base:#010x}, {region.end:#010x})"
+            f"  -> slave {region.slave_index}"
+        )
+    print()
+
+    header = f"{'engine':>14}{'cycles':>10}{'txns':>8}{'util':>8}"
+    print(header)
+    results = {}
+    for point in sweep(
+        spec, axis="engine", values=("tlm", "plain", "rtl")
+    ):
+        platform = point.build()
+        monitor = BusMonitor()
+        platform.attach(monitor)
+        result = platform.run()
+        results[point.engine] = (platform, result)
+        print(
+            f"{point.engine:>14}{result.cycles:>10}{result.transactions:>8}"
+            f"{result.utilization:>8.3f}"
+        )
+
+    tlm, _ = results["tlm"]
+    rtl, _ = results["rtl"]
+    assert tlm.ddrc.memory.equal_contents(rtl.ddrc.memory)
+    sram_rtl, apb_rtl = rtl.static_slaves
+    print()
+    print(
+        f"functional: DDR images identical across levels; "
+        f"SRAM served {sram_rtl.reads}r/{sram_rtl.writes}w, "
+        f"APB bridge {apb_rtl.reads}r/{apb_rtl.writes}w at RTL"
+    )
+    print(
+        "one SystemSpec drove all three engines — the decoder routed "
+        "every burst to its region without a per-engine platform builder."
+    )
+
+
+if __name__ == "__main__":
+    main()

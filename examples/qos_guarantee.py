@@ -13,7 +13,7 @@ every deadline.
 Run:  python examples/qos_guarantee.py
 """
 
-from repro.core import build_plain_platform, build_tlm_platform
+from repro.system import PlatformBuilder, paper_topology
 from repro.traffic import saturating_workload
 
 
@@ -38,12 +38,16 @@ def main() -> None:
         f"three DMA engines saturate the bus with 16-beat bursts.\n"
     )
 
-    plain = build_plain_platform(workload)
+    # One spec, two engines: the same topology elaborated as the
+    # unextended baseline and as AHB+.
+    builder = PlatformBuilder(paper_topology(workload=workload))
+
+    plain = builder.build("plain")
     plain.run()
     deadline_report("plain AMBA 2.0 AHB", plain.masters, rt_index)
 
     print()
-    ahbp = build_tlm_platform(workload)
+    ahbp = builder.build("tlm")
     result = ahbp.run()
     deadline_report("AHB+ (QoS registers + urgency filter)", ahbp.masters, rt_index)
 

@@ -1,29 +1,32 @@
 #!/usr/bin/env python3
-"""Quickstart: build an AHB+ platform, run traffic, read the profile.
+"""Quickstart: describe an AHB+ system, run traffic, read the profile.
 
 Builds the paper's system — four masters on the AHB+ main bus with the
-DDR controller behind the Bus Interface — runs a mixed workload and
-prints the bus/port profile the paper's §3.6 profiling features expose.
+DDR controller behind the Bus Interface — from its declarative
+:class:`~repro.system.SystemSpec`, runs a mixed workload and prints the
+bus/port profile the paper's §3.6 profiling features expose.  The same
+spec elaborates at any abstraction level: change ``"tlm"`` below to
+``"rtl"`` (or ``"plain"``, or ``"tlm-threaded"``) and nothing else.
 
 Run:  python examples/quickstart.py
 """
 
-from repro.core import build_tlm_platform
 from repro.profiling import BusMonitor, bus_summary, filter_report, port_report
-from repro.traffic import table1_pattern_a
+from repro.system import PlatformBuilder, paper_topology
 
 
 def main() -> None:
-    # A seeded 4-master workload: one CPU plus three DMA-style movers.
-    workload = table1_pattern_a(transactions=300)
+    # A seeded 4-master scenario: one CPU plus three DMA-style movers.
+    spec = paper_topology(transactions=300)
+    workload = spec.workload
 
-    # One call assembles masters, QoS registers, the seven-filter
+    # One call elaborates masters, QoS registers, the seven-filter
     # arbiter, write buffer, Bus Interface and the DDRC.
-    platform = build_tlm_platform(workload)
+    platform = PlatformBuilder(spec).build("tlm")
 
     # Attach the profiling monitor, then run to completion.
     monitor = BusMonitor()
-    platform.bus.add_observer(monitor)
+    platform.attach(monitor)
     result = platform.run()
 
     names = {i: spec.name for i, spec in enumerate(workload.masters)}

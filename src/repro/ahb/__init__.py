@@ -22,13 +22,14 @@ from repro.ahb.burst import (
 from repro.ahb.bus import BusRunResult, PlainAhbBus
 from repro.ahb.decoder import AddressMap, Region, single_slave_map
 from repro.ahb.master import TlmMaster, TrafficItem
-from repro.ahb.slave import SramSlave, TlmSlave
+from repro.ahb.slave import ApbBridgeSlave, SramSlave, TlmSlave
 from repro.ahb.transaction import WRITE_BUFFER_MASTER, Transaction
 from repro.ahb.types import AccessKind, HBurst, HResp, HSize, HTrans, burst_for_beats
 
 __all__ = [
     "AccessKind",
     "AddressMap",
+    "ApbBridgeSlave",
     "BaselineArbiter",
     "BusRunResult",
     "FixedPriorityArbiter",

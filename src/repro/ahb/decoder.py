@@ -40,9 +40,18 @@ class Region:
 
 
 class AddressMap:
-    """Ordered, overlap-checked collection of :class:`Region` entries."""
+    """Ordered, overlap-checked collection of :class:`Region` entries.
 
-    def __init__(self) -> None:
+    ``default_slave`` names the slave index that catches accesses no
+    region claims (the AHB *default slave*).  Without one, decoding an
+    unmapped address raises — the strict mode every paper-topology
+    platform uses, where an unmapped access is a traffic bug.
+    """
+
+    def __init__(self, default_slave: Optional[int] = None) -> None:
+        if default_slave is not None and default_slave < 0:
+            raise ConfigError(f"bad default slave index {default_slave}")
+        self.default_slave = default_slave
         self._regions: List[Region] = []
         #: Flat (base, end, slave_index) rows for the per-transaction
         #: routing lookup — avoids the Region property calls in the
@@ -81,10 +90,16 @@ class AddressMap:
         return None
 
     def slave_for(self, addr: int) -> int:
-        """Slave index serving *addr* (the HSEL the RTL decoder asserts)."""
+        """Slave index serving *addr* (the HSEL the RTL decoder asserts).
+
+        Unmapped addresses route to the default slave when one is
+        configured, otherwise they raise.
+        """
         for base, end, slave_index in self._table:
             if base <= addr < end:
                 return slave_index
+        if self.default_slave is not None:
+            return self.default_slave
         return self.decode(addr).slave_index  # cold path: raises unmapped
 
     def span(self) -> int:

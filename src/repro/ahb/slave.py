@@ -127,3 +127,31 @@ class SramSlave(TlmSlave):
     def peek_word(self, addr: int, size_bytes: int = 4) -> Optional[int]:
         """Read the backing store without modelling timing (tests)."""
         return self._store.get(self._word_index(addr, size_bytes))
+
+
+class ApbBridgeSlave(SramSlave):
+    """Stub of an AHB→APB bridge with its register file behind it.
+
+    Every beat pays the full bridge setup+access penalty — APB has no
+    burst mode, so an AHB burst through the bridge degenerates into
+    back-to-back single transfers.  Functionally it is a plain backing
+    store (peripheral registers that hold what software wrote), which is
+    all the multi-slave routing scenarios need from it.
+    """
+
+    def __init__(
+        self,
+        name: str = "apb",
+        size: int = 1 << 16,
+        setup_cycles: int = 4,
+        base_addr: int = 0,
+    ) -> None:
+        if setup_cycles < 1:
+            raise ConfigError("APB bridge setup must be at least one cycle")
+        super().__init__(
+            name=name,
+            size=size,
+            wait_states=setup_cycles,
+            burst_wait_states=setup_cycles,
+            base_addr=base_addr,
+        )

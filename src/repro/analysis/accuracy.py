@@ -15,9 +15,9 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.config import AhbPlusConfig
-from repro.core.platform import build_tlm_platform
 from repro.errors import SimulationError
-from repro.rtl.platform import build_rtl_platform
+from repro.system.platform import PlatformBuilder
+from repro.system.scenarios import paper_topology
 from repro.traffic.workloads import Workload
 
 
@@ -152,9 +152,10 @@ def compare_models(
     because timing accuracy numbers are meaningless if the models
     compute different results.
     """
-    rtl = build_rtl_platform(workload, config=config)
+    builder = PlatformBuilder(paper_topology(workload=workload, config=config))
+    rtl = builder.build("rtl")
     rtl_result = rtl.run(max_cycles=max_rtl_cycles)
-    tlm = build_tlm_platform(workload, config=config)
+    tlm = builder.build("tlm")
     tlm_result = tlm.run()
 
     memory_match = rtl.memory.equal_contents(tlm.memory)

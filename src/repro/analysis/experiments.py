@@ -1,27 +1,29 @@
 """Shared experiment drivers.
 
-Each function regenerates one row of the DESIGN.md experiment index.
+Each function regenerates one row of the README experiment index.
 Benchmarks call these under ``pytest-benchmark``; the examples and
 EXPERIMENTS.md generation call them directly.  Everything is
 deterministic given the workload seeds.
+
+Every ablation follows one shape: describe the system once as a
+:class:`~repro.system.SystemSpec` (via the scenario registry), expand
+it along exactly one axis with :func:`repro.system.sweep`, and run the
+resulting grid — no per-experiment ``replace(config, ...)`` cloning.
+The QoS comparison sweeps the *engine* axis (plain AHB vs AHB+ on the
+same spec), which is the paper's portability claim as an experiment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Tuple
 
 from repro.analysis.accuracy import Table1Result, run_table1
 from repro.analysis.speed import SpeedReport, speed_comparison
-from repro.core.bus import AhbPlusRunResult
-from repro.core.config import SWITCHABLE_FILTERS, AhbPlusConfig
-from repro.core.platform import (
-    build_plain_platform,
-    build_tlm_platform,
-    config_for_workload,
-)
+from repro.core.config import SWITCHABLE_FILTERS
+from repro.system.scenarios import paper_topology
+from repro.system.spec import sweep
 from repro.traffic.workloads import (
-    Workload,
     bank_striped_workload,
     saturating_workload,
     single_master_workload,
@@ -64,11 +66,19 @@ def experiment_write_buffer(
     transactions: int = 200, depths: Tuple[int, ...] = (1, 2, 4, 8)
 ) -> List[WriteBufferPoint]:
     """Write-buffer off + depth sweep on a write-heavy workload."""
-    workload = write_heavy_workload(transactions)
+    spec = paper_topology(workload=write_heavy_workload(transactions))
+    grid = sweep(
+        spec, axis="write_buffer_enabled", values=(False,), labels=("off",)
+    )
+    grid += sweep(
+        spec,
+        axis="write_buffer_depth",
+        values=depths,
+        labels=tuple(f"depth{d}" for d in depths),
+    )
     points: List[WriteBufferPoint] = []
-
-    def run(cfg: AhbPlusConfig, label: str, depth: int) -> None:
-        platform = build_tlm_platform(workload, config=cfg)
+    for point in grid:
+        platform = point.build()
         result = platform.run()
         writes = [
             txn
@@ -83,21 +93,12 @@ def experiment_write_buffer(
         )
         points.append(
             WriteBufferPoint(
-                label=label,
-                depth=depth,
+                label=point.label,
+                depth=0 if point.axis == "write_buffer_enabled" else int(point.value),  # type: ignore[arg-type]
                 cycles=result.cycles,
                 absorbed=result.absorbed_writes,
                 mean_write_latency=mean_latency,
             )
-        )
-
-    base = config_for_workload(workload)
-    run(replace(base, write_buffer_enabled=False), "off", 0)
-    for depth in depths:
-        run(
-            replace(base, write_buffer_enabled=True, write_buffer_depth=depth),
-            f"depth{depth}",
-            depth,
         )
     return points
 
@@ -118,17 +119,19 @@ class InterleavingPoint:
 
 def experiment_bank_interleaving(transactions: int = 200) -> List[InterleavingPoint]:
     """BI on vs off: throughput and DDR utilization on striped traffic."""
-    workload = bank_striped_workload(transactions)
+    spec = paper_topology(workload=bank_striped_workload(transactions))
     points = []
-    for enabled in (True, False):
-        cfg = replace(
-            config_for_workload(workload), bus_interface_enabled=enabled
-        )
-        platform = build_tlm_platform(workload, config=cfg)
+    for point in sweep(
+        spec,
+        axis="bus_interface_enabled",
+        values=(True, False),
+        labels=("bi-on", "bi-off"),
+    ):
+        platform = point.build()
         result = platform.run()
         points.append(
             InterleavingPoint(
-                label="bi-on" if enabled else "bi-off",
+                label=point.label,
                 cycles=result.cycles,
                 utilization=result.utilization,
                 prepared_banks=platform.ddrc.prepared_banks,
@@ -166,22 +169,24 @@ def _deadline_stats(masters, rt_index: int) -> Tuple[int, int, int]:
 
 
 def experiment_qos(transactions: int = 150) -> List[QosPoint]:
-    """Paper motivation: AMBA2.0 cannot guarantee QoS; AHB+ can."""
+    """Paper motivation: AMBA2.0 cannot guarantee QoS; AHB+ can.
+
+    One spec, two engines — the sweep axis is the abstraction itself.
+    """
     workload = saturating_workload(transactions)
     rt_index = next(iter(workload.qos_map()))
+    spec = paper_topology(workload=workload)
     points = []
-
-    plain = build_plain_platform(workload)
-    plain_result = plain.run()
-    count, misses, worst = _deadline_stats(plain.masters, rt_index)
-    points.append(
-        QosPoint("plain-ahb", plain_result.cycles, count, misses, worst)
-    )
-
-    ahbp = build_tlm_platform(workload)
-    ahbp_result = ahbp.run()
-    count, misses, worst = _deadline_stats(ahbp.masters, rt_index)
-    points.append(QosPoint("ahb+", ahbp_result.cycles, count, misses, worst))
+    for point in sweep(
+        spec,
+        axis="engine",
+        values=("plain", "tlm"),
+        labels=("plain-ahb", "ahb+"),
+    ):
+        platform = point.build()
+        result = platform.run()
+        count, misses, worst = _deadline_stats(platform.masters, rt_index)
+        points.append(QosPoint(point.label, result.cycles, count, misses, worst))
     return points
 
 
@@ -205,21 +210,24 @@ def experiment_filters(transactions: int = 120) -> List[FilterPoint]:
     DMA movers) is where arbitration decisions matter: disabling the
     urgency or real-time filters costs stream deadlines.
     """
-    workload = saturating_workload(transactions // 2)
-    points = []
-    base = config_for_workload(workload)
+    spec = paper_topology(workload=saturating_workload(transactions // 2))
     cases: List[Tuple[str, Tuple[str, ...]]] = [("none", ())]
     cases.extend((name, (name,)) for name in SWITCHABLE_FILTERS)
     # The urgency and real-time filters back each other up; disabling
     # both removes the QoS guarantee entirely.
     cases.append(("urgency+real-time", ("urgency", "real-time")))
-    for label, disabled in cases:
-        cfg = base if not disabled else replace(base, disabled_filters=disabled)
-        platform = build_tlm_platform(workload, config=cfg)
-        result = platform.run()
+    grid = sweep(
+        spec,
+        axis="disabled_filters",
+        values=tuple(disabled for _label, disabled in cases),
+        labels=tuple(label for label, _disabled in cases),
+    )
+    points = []
+    for point in grid:
+        result = point.build().run()
         points.append(
             FilterPoint(
-                disabled=label,
+                disabled=point.label,
                 cycles=result.cycles,
                 rt_misses=result.rt_deadline_misses,
                 utilization=result.utilization,

@@ -14,9 +14,9 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.config import AhbPlusConfig
-from repro.core.platform import build_tlm_platform
 from repro.kernel.simulator import Simulator
-from repro.rtl.platform import build_rtl_platform
+from repro.system.platform import PlatformBuilder
+from repro.system.scenarios import paper_topology
 from repro.traffic.workloads import Workload
 
 
@@ -89,12 +89,14 @@ def measure_rtl(
 
 
 def _rtl_runner(workload: Workload, config: Optional[AhbPlusConfig]):
-    platform = build_rtl_platform(workload, config=config)
+    builder = PlatformBuilder(paper_topology(workload=workload, config=config))
+    platform = builder.build("rtl")
     return lambda: platform.run().cycles
 
 
 def _tlm_runner(workload: Workload, config: Optional[AhbPlusConfig], engine: str):
-    platform = build_tlm_platform(workload, config=config, engine=engine)
+    builder = PlatformBuilder(paper_topology(workload=workload, config=config))
+    platform = builder.build("tlm" if engine == "method" else "tlm-threaded")
     return lambda: platform.run().cycles
 
 
@@ -147,12 +149,13 @@ def kernel_comparison(workload: Workload, cycles: int = 5000) -> List[SpeedSampl
     discrete-event queue, paying heap traffic per cycle, while the
     cycle engine just sweeps.
     """
-    native = build_rtl_platform(workload)
+    builder = PlatformBuilder(paper_topology(workload=workload))
+    native = builder.build("rtl")
     native_sample = _timed(
         "cycle-kernel", lambda: (native.engine.run(cycles), native.engine.cycle)[1]
     )
 
-    event_driven = build_rtl_platform(workload)
+    event_driven = builder.build("rtl")
     sim = Simulator()
 
     def run_via_events() -> int:

@@ -11,8 +11,10 @@ Public surface:
 * :class:`BusInterface` — the arbiter↔DDRC side channel (BI).
 * :class:`TransactionPort` / :class:`InteractiveAhbPlus` — the paper's
   CheckGrant()/Read()/Write() port API.
-* :func:`build_tlm_platform` / :func:`build_plain_platform` — one-call
-  system assembly.
+* :func:`build_tlm_platform` / :func:`build_plain_platform` — legacy
+  one-call system assembly (deprecation shims; new code describes the
+  system with :class:`repro.system.SystemSpec` and elaborates it via
+  :class:`repro.system.PlatformBuilder`).
 """
 
 from repro.core.arbiter import AhbPlusArbiter

@@ -36,7 +36,7 @@ from repro.ahb.master import TlmMaster
 from repro.ahb.slave import TlmSlave
 from repro.ahb.transaction import Transaction
 from repro.core.arbiter import AhbPlusArbiter
-from repro.core.bus_interface import BusInterface
+from repro.core.bus_interface import BusInterface, make_routed_score
 from repro.core.config import AhbPlusConfig
 from repro.core.filters import ArbitrationContext, Candidate
 from repro.core.qos import QosRegisterFile
@@ -118,6 +118,16 @@ class AhbPlusBusTlm:
             urgency_margin=self.config.urgency_margin,
             starvation_limit=self.config.starvation_limit,
         )
+        # Multi-slave maps need the address-routed bank-score oracle
+        # (see make_routed_score); BI off means no oracle at all so the
+        # bank filter abstains, matching single-slave and RTL semantics.
+        # Single-slave platforms keep the direct single-BI closure — the
+        # original hot path, byte-identical.
+        self._routed_score_at = (
+            make_routed_score(self.bus_interfaces, self.address_map)
+            if len(self.slaves) > 1 and self.config.bus_interface_enabled
+            else None
+        )
 
     def _default_qos(self) -> QosRegisterFile:
         qos = QosRegisterFile(self.config.num_masters)
@@ -165,16 +175,19 @@ class AhbPlusBusTlm:
 
     def _make_ctx(self, now: int, candidates: Sequence[Candidate]) -> ArbitrationContext:
         buffer = self.write_buffer
-        # The bank filter consults the controller behind the first
-        # candidate's region; platforms in this library put the DDRC
-        # behind one region, so any candidate resolves identically.
-        _slave, bi = self._route(candidates[0].txn)
         ctx = self._ctx
         ctx.now = now
         ctx.write_buffer_occupancy = buffer.occupancy
         ctx.write_buffer_depth = buffer.depth if buffer.enabled else 0
         ctx.read_hazard = buffer.read_hazard(candidates)
-        ctx.access_score = bi.access_score_fn(now)
+        if self._routed_score_at is not None:
+            # Multi-slave: score every address via its own region's BI.
+            ctx.access_score = self._routed_score_at(now)
+        else:
+            # Single slave: the one BI serves every candidate (the paper
+            # topology, where the DDRC is the only region).
+            _slave, bi = self._route(candidates[0].txn)
+            ctx.access_score = bi.access_score_fn(now)
         return ctx
 
     def _absorb_losers(

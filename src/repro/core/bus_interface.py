@@ -15,8 +15,9 @@ of the traffic crossing it.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Sequence
 
+from repro.ahb.decoder import AddressMap
 from repro.ahb.slave import TlmSlave
 from repro.ahb.transaction import Transaction
 
@@ -102,3 +103,36 @@ class BusInterface:
         """
         self.permission_queries += 1
         return self.slave.access_permitted_at(txn, cycle)
+
+
+def make_routed_score(
+    bus_interfaces: Sequence[BusInterface], address_map: AddressMap
+) -> Callable[[int], Callable[[int], int]]:
+    """Address-routed bank-score oracle for multi-slave maps.
+
+    On a multi-slave platform one arbitration round's candidates may
+    target different slaves, so each address must be scored by *its*
+    region's BI; a bank-less slave (SRAM, APB bridge) scores 0 — the
+    best — so the bank filter only differentiates DDR candidates.
+
+    Returns an ``at(now)`` re-aimer mirroring
+    :meth:`BusInterface.access_score_fn`'s cached-closure shape: the
+    lookup closure is built once, only the cycle it reports against is
+    refreshed per round.  Callers must gate on
+    ``config.bus_interface_enabled`` — with the BI off the oracle must
+    be ``None`` so the bank filter abstains, exactly as on the
+    single-slave platform and in the RTL arbiter.
+    """
+    cycle_cell: List[int] = [0]
+
+    def lookup(addr: int) -> int:
+        fn = bus_interfaces[address_map.slave_for(addr)].access_score_fn(
+            cycle_cell[0]
+        )
+        return 0 if fn is None else fn(addr)
+
+    def at(now: int) -> Callable[[int], int]:
+        cycle_cell[0] = now
+        return lookup
+
+    return at

@@ -12,7 +12,7 @@ and runs it at both abstraction levels.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
 from repro.core.qos import QosSetting
@@ -91,6 +91,55 @@ class AhbPlusConfig:
     def qos_setting(self, master: int) -> QosSetting:
         """Setting for *master*; defaults to NRT with no objective."""
         return self.qos.get(master, QosSetting())
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping of the full configuration.
+
+        QoS keys become strings (JSON objects cannot key on integers)
+        and nested dataclasses serialise through their own ``to_dict``;
+        :meth:`from_dict` reverses both, so
+        ``AhbPlusConfig.from_dict(json.loads(json.dumps(cfg.to_dict())))``
+        is the identity.
+        """
+        data: Dict[str, object] = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "qos":
+                data[f.name] = {
+                    str(master): setting.to_dict()
+                    for master, setting in value.items()
+                }
+            elif f.name == "ddr_timing":
+                data[f.name] = value.to_dict()
+            elif f.name == "disabled_filters":
+                data[f.name] = list(value)
+            else:
+                data[f.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "AhbPlusConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Construction runs ``__post_init__``, so every validation rule
+        (filter names, QoS ranges, bus width, ...) applies to
+        deserialised configs exactly as to hand-built ones.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown AhbPlusConfig fields {sorted(unknown)}")
+        kwargs: Dict[str, object] = dict(data)
+        if "qos" in kwargs:
+            kwargs["qos"] = {
+                int(master): QosSetting.from_dict(setting)
+                for master, setting in kwargs["qos"].items()  # type: ignore[union-attr]
+            }
+        if "ddr_timing" in kwargs:
+            kwargs["ddr_timing"] = DdrTiming.from_dict(kwargs["ddr_timing"])  # type: ignore[arg-type]
+        if "disabled_filters" in kwargs:
+            kwargs["disabled_filters"] = tuple(kwargs["disabled_filters"])  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]
 
     def without_extensions(self) -> "AhbPlusConfig":
         """A copy with every AHB+ extension off — plain-AHB behaviour.

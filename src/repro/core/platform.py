@@ -1,20 +1,28 @@
-"""Platform builders: assemble masters, bus and DDRC from one config.
+"""Transaction-level platform records and the legacy builder shims.
 
-``build_tlm_platform`` produces the paper's system — AHB+ main bus with
-the DDR controller behind the Bus Interface — in either engine style
-(method-based or thread-based).  ``build_plain_platform`` produces the
-unextended AMBA 2.0 baseline on the same workload and memory subsystem,
-which is what the QoS and throughput comparisons run against.
+The platform dataclasses (:class:`TlmPlatform`, :class:`PlainPlatform`)
+are the engine-facing products of system elaboration; they satisfy the
+:class:`repro.system.platform.Platform` protocol — ``run()`` plus
+``attach(observer)`` — so analysis code never reaches into the bus.
+
+``build_tlm_platform``/``build_plain_platform`` are **deprecation
+shims**: new code should describe the system once with
+:class:`repro.system.SystemSpec` (or pick a registry entry from
+:mod:`repro.system.scenarios`) and elaborate it through
+:class:`repro.system.PlatformBuilder`.  The shims wrap the given
+workload/config in the equivalent paper-topology spec and delegate, so
+their output is bit-for-bit identical to what they built before the
+spec layer existed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
-from repro.ahb.bus import BusRunResult, PlainAhbBus
-from repro.ahb.decoder import AddressMap, single_slave_map
+from repro.ahb.bus import BusRunResult, PlainAhbBus, TransactionObserver
 from repro.ahb.master import TlmMaster
+from repro.ahb.slave import TlmSlave
 from repro.core.bus import AhbPlusBusTlm, AhbPlusRunResult
 from repro.core.config import AhbPlusConfig
 from repro.core.threaded import ThreadedAhbPlusBus
@@ -35,6 +43,12 @@ class TlmPlatform:
     masters: List[TlmMaster]
     ddrc: DdrControllerTlm
     bus: EngineBus
+    #: All slaves in address-map order (``[ddrc]`` on the paper topology).
+    slaves: List[TlmSlave] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.slaves:
+            self.slaves = [self.ddrc]
 
     @property
     def memory(self) -> MemoryModel:
@@ -45,6 +59,10 @@ class TlmPlatform:
         """Run the workload to completion."""
         return self.bus.run(max_cycles=max_cycles)
 
+    def attach(self, observer: TransactionObserver) -> None:
+        """Register a ``(txn, grant, start, finish)`` observer."""
+        self.bus.add_observer(observer)
+
 
 @dataclass
 class PlainPlatform:
@@ -54,6 +72,12 @@ class PlainPlatform:
     masters: List[TlmMaster]
     ddrc: DdrControllerTlm
     bus: PlainAhbBus
+    config: Optional[AhbPlusConfig] = None
+    slaves: List[TlmSlave] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.slaves:
+            self.slaves = [self.ddrc]
 
     @property
     def memory(self) -> MemoryModel:
@@ -61,6 +85,10 @@ class PlainPlatform:
 
     def run(self, max_cycles: Optional[int] = None) -> BusRunResult:
         return self.bus.run(max_cycles=max_cycles)
+
+    def attach(self, observer: TransactionObserver) -> None:
+        """Register a ``(txn, grant, start, finish)`` observer."""
+        self.bus.add_observer(observer)
 
 
 def config_for_workload(
@@ -96,6 +124,18 @@ def config_for_workload(
     )
 
 
+def _paper_spec(workload: Workload, config: Optional[AhbPlusConfig]):
+    """The paper-topology spec equivalent to a legacy builder call.
+
+    Delegates to the scenario registry's canonical constructor so every
+    entry point (registry, TLM shims, RTL shim) builds the *same* spec
+    — one place to evolve the paper topology, one serialised name.
+    """
+    from repro.system.scenarios import paper_topology
+
+    return paper_topology(workload=workload, config=config)
+
+
 def build_tlm_platform(
     workload: Workload,
     config: Optional[AhbPlusConfig] = None,
@@ -103,30 +143,24 @@ def build_tlm_platform(
 ) -> TlmPlatform:
     """Assemble the AHB+ TLM platform for *workload*.
 
-    ``engine`` selects the paper's method-based style (``"method"``) or
-    the thread-based comparison engine (``"thread"``).
+    .. deprecated::
+        Thin shim over :class:`repro.system.PlatformBuilder`; prefer
+        ``PlatformBuilder(spec).build("tlm")`` with a
+        :class:`~repro.system.SystemSpec` (the ``engine="thread"``
+        variant is the ``"tlm-threaded"`` level).  Output is
+        bit-for-bit identical to the pre-spec builder.
     """
-    cfg = config_for_workload(workload, config)
-    masters = workload.build_masters()
-    ddrc = DdrControllerTlm(
-        timing=cfg.ddr_timing,
-        bus_bytes=cfg.bus_width_bytes,
-        refresh_enabled=cfg.refresh_enabled,
-    )
-    address_map = single_slave_map(cfg.memory_size)
+    from repro.system.platform import PlatformBuilder
+
     if engine == "method":
-        bus: EngineBus = AhbPlusBusTlm(
-            masters, [ddrc], config=cfg, address_map=address_map
-        )
+        level = "tlm"
     elif engine == "thread":
-        bus = ThreadedAhbPlusBus(
-            masters, [ddrc], config=cfg, address_map=address_map
-        )
+        level = "tlm-threaded"
     else:
         raise ConfigError(f"unknown engine {engine!r}; use 'method' or 'thread'")
-    return TlmPlatform(
-        workload=workload, config=cfg, masters=masters, ddrc=ddrc, bus=bus
-    )
+    platform = PlatformBuilder(_paper_spec(workload, config)).build(level)
+    assert isinstance(platform, TlmPlatform)
+    return platform
 
 
 def build_plain_platform(
@@ -138,18 +172,13 @@ def build_plain_platform(
     Same masters, same DDR device — but no QoS, no write buffer, no
     request pipelining and no Bus Interface, so the controller sees
     every transaction cold.
+
+    .. deprecated::
+        Thin shim over :class:`repro.system.PlatformBuilder`; prefer
+        ``PlatformBuilder(spec).build("plain")``.
     """
-    cfg = config_for_workload(workload, config)
-    masters = workload.build_masters()
-    ddrc = DdrControllerTlm(
-        timing=cfg.ddr_timing,
-        bus_bytes=cfg.bus_width_bytes,
-        refresh_enabled=cfg.refresh_enabled,
-    )
-    bus = PlainAhbBus(
-        masters,
-        [ddrc],
-        single_slave_map(cfg.memory_size),
-        arbitration_cycles=max(cfg.arbitration_cycles, 1),
-    )
-    return PlainPlatform(workload=workload, masters=masters, ddrc=ddrc, bus=bus)
+    from repro.system.platform import PlatformBuilder
+
+    platform = PlatformBuilder(_paper_spec(workload, config)).build("plain")
+    assert isinstance(platform, PlainPlatform)
+    return platform

@@ -47,6 +47,21 @@ class QosSetting:
         if self.objective_cycles < 0:
             raise ConfigError("QoS objective cannot be negative")
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready view of the register contents."""
+        return {
+            "real_time": self.real_time,
+            "objective_cycles": self.objective_cycles,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QosSetting":
+        """Rebuild a setting; the constructor re-validates it."""
+        return cls(
+            real_time=bool(data.get("real_time", False)),
+            objective_cycles=int(data.get("objective_cycles", 0)),
+        )
+
 
 #: Register-file encoding used by the memory-mapped view: bit 31 = RT
 #: flag, low 24 bits = objective.  Mirrors how the proprietary bus

@@ -23,7 +23,7 @@ from repro.ahb.slave import TlmSlave
 from repro.ahb.transaction import Transaction
 from repro.core.arbiter import AhbPlusArbiter
 from repro.core.bus import AhbPlusRunResult
-from repro.core.bus_interface import BusInterface
+from repro.core.bus_interface import BusInterface, make_routed_score
 from repro.core.config import AhbPlusConfig
 from repro.core.filters import ArbitrationContext, Candidate
 from repro.core.qos import QosRegisterFile
@@ -92,6 +92,13 @@ class ThreadedAhbPlusBus:
             BusInterface(slave, enabled=self.config.bus_interface_enabled)
             for slave in self.slaves
         ]
+        # BI off -> no oracle, so the bank filter abstains (see
+        # make_routed_score); matches AhbPlusBusTlm and the RTL arbiter.
+        self._routed_score_at = (
+            make_routed_score(self.bus_interfaces, self.address_map)
+            if len(self.slaves) > 1 and self.config.bus_interface_enabled
+            else None
+        )
         self.sim = Simulator()
         self.board = _RequestBoard()
         self.done_events = [
@@ -154,7 +161,13 @@ class ThreadedAhbPlusBus:
 
     def _make_ctx(self, now: int, candidates: Sequence[Candidate]) -> ArbitrationContext:
         hazard = self.write_buffer.read_hazard(candidates)
-        _slave, bi = self._route(candidates[0].txn)
+        if self._routed_score_at is not None:
+            # Multi-slave: score every address via its own region's BI
+            # (a bank-less slave scores 0); mirrors AhbPlusBusTlm.
+            access_score = self._routed_score_at(now)
+        else:
+            _slave, bi = self._route(candidates[0].txn)
+            access_score = bi.access_score_fn(now)
         return ArbitrationContext(
             now=now,
             write_buffer_occupancy=self.write_buffer.occupancy,
@@ -162,7 +175,7 @@ class ThreadedAhbPlusBus:
                 self.write_buffer.depth if self.write_buffer.enabled else 0
             ),
             read_hazard=hazard,
-            access_score=bi.access_score_fn(now),
+            access_score=access_score,
             urgency_margin=self.config.urgency_margin,
             starvation_limit=self.config.starvation_limit,
         )

@@ -10,7 +10,8 @@ this one place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
+from typing import Dict
 
 from repro.errors import ConfigError
 
@@ -108,6 +109,19 @@ class DdrTiming:
     def row_miss_penalty(self) -> int:
         """Worst-case extra cycles a row miss costs over a row hit."""
         return self.t_rp + self.t_rcd
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-ready mapping of the declared timing fields."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "DdrTiming":
+        """Rebuild a timing set; ``__post_init__`` re-validates it."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown DdrTiming fields {sorted(unknown)}")
+        return cls(**data)
 
 
 #: A smallish, fast part — default for unit tests (short rows stress

@@ -9,13 +9,15 @@ for accuracy and measured against for speed.
 from repro.rtl.arbiter import ArbiterRtl
 from repro.rtl.ddrc import DdrcRtl, RtlAccess, RtlSegment
 from repro.rtl.master import MasterRtl, MasterState
-from repro.rtl.mux import BusMux
+from repro.rtl.mux import BusMux, ResponseMux
 from repro.rtl.platform import RtlPlatform, build_rtl_platform
+from repro.rtl.slave import StaticSlaveRtl
 from repro.rtl.signals import (
     BiSignals,
     MasterSignals,
     NO_OWNER,
     SharedBusSignals,
+    SlaveResponseSignals,
     all_signals,
 )
 from repro.rtl.write_buffer import BufferMasterRtl, DrainState
@@ -25,6 +27,7 @@ __all__ = [
     "BiSignals",
     "BufferMasterRtl",
     "BusMux",
+    "ResponseMux",
     "DdrcRtl",
     "DrainState",
     "MasterRtl",
@@ -35,5 +38,7 @@ __all__ = [
     "RtlPlatform",
     "RtlSegment",
     "SharedBusSignals",
+    "SlaveResponseSignals",
+    "StaticSlaveRtl",
     "all_signals",
 ]

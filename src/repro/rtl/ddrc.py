@@ -18,7 +18,7 @@ the arbiter's bank filter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple, Union
 
 from repro.ahb.burst import beat_addresses
 from repro.ahb.types import HBurst
@@ -29,7 +29,12 @@ from repro.ddr.scheduler import CommandScheduler, PendingAccess, ScheduledComman
 from repro.ddr.timing import DdrTiming
 from repro.errors import SimulationError
 from repro.kernel.cycle import CycleEngine
-from repro.rtl.signals import BiSignals, NO_OWNER, SharedBusSignals
+from repro.rtl.signals import (
+    BiSignals,
+    NO_OWNER,
+    SharedBusSignals,
+    SlaveResponseSignals,
+)
 
 _UID = 0
 
@@ -101,9 +106,25 @@ class DdrcRtl:
         bus_bytes: int = 4,
         memory: Optional[MemoryModel] = None,
         refresh_enabled: bool = True,
+        out: Optional[SlaveResponseSignals] = None,
+        accepts: Optional[Callable[[int], bool]] = None,
     ) -> None:
+        """``out``/``accepts`` adapt the controller to a multi-slave fabric.
+
+        On the paper's single-slave platform both stay ``None``: the
+        controller drives the shared bus response signals directly and
+        claims every address phase, exactly the original behaviour.  On
+        a multi-slave platform ``out`` is the controller's private
+        response bundle (combined onto the bus by the response mux) and
+        ``accepts`` is the address-decoder predicate for its region —
+        address phases and BI announcements outside it are ignored.
+        """
         self.bus = bus
         self.bi = bi
+        self.out: Union[SharedBusSignals, SlaveResponseSignals] = (
+            out if out is not None else bus
+        )
+        self.accepts = accepts
         self.engine = engine
         self.timing = timing
         self.bus_bytes = bus_bytes
@@ -238,6 +259,8 @@ class DdrcRtl:
         if self.bus.htrans.value != 0b10:  # HTrans.NONSEQ
             return
         addr = self.bus.haddr.value
+        if self.accepts is not None and not self.accepts(addr):
+            return
         is_write = bool(self.bus.hwrite.value)
         beats = self.bus.hlen.value
         size_bytes = 1 << self.bus.hsize.value
@@ -265,6 +288,8 @@ class DdrcRtl:
         if not self.bi.next_valid.value:
             return
         addr = self.bi.next_addr.value
+        if self.accepts is not None and not self.accepts(addr):
+            return
         is_write = bool(self.bi.next_write.value)
         beats = self.bi.next_len.value
         size_bytes = 1 << self.bi.next_size.value
@@ -342,20 +367,20 @@ class DdrcRtl:
         )
 
     def _drive_outputs(self, now: int) -> None:
-        bus = self.bus
+        out = self.out  # shared bus (single slave) or private response bundle
         stream = self._stream
         if self._beat_next_cycle():
             assert stream is not None
-            bus.hready.drive_next(1)
-            bus.stream_owner.drive_next(stream.access.owner)
+            out.hready.drive_next(1)
+            out.stream_owner.drive_next(stream.access.owner)
             if not stream.access.is_write:
                 beat_addr = stream.segment.addrs[stream.beats_done]
-                bus.hrdata.drive_next(
+                out.hrdata.drive_next(
                     self.memory.read(beat_addr, stream.access.size_bytes)
                 )
         else:
-            bus.hready.drive_next(0)
-            bus.stream_owner.drive_next(NO_OWNER)
+            out.hready.drive_next(0)
+            out.stream_owner.drive_next(NO_OWNER)
         started = [a for a in self.queue if a.bus_started]
         final_beat_next = (
             stream is not None
@@ -364,16 +389,16 @@ class DdrcRtl:
             and stream.length - stream.beats_done == 1
         )
         available = not started or (len(started) == 1 and final_beat_next)
-        bus.bus_available.drive_next(available)
-        bus.ddr_busy.drive_next(bool(started))
+        out.bus_available.drive_next(available)
+        out.ddr_busy.drive_next(bool(started))
         if (
             stream is not None
             and stream.is_last_segment
             and now + 1 >= stream.data_start
         ):
-            bus.ddr_remaining.drive_next(stream.length - stream.beats_done)
+            out.ddr_remaining.drive_next(stream.length - stream.beats_done)
         else:
-            bus.ddr_remaining.drive_next(0)
+            out.ddr_remaining.drive_next(0)
         self.bi.refresh_busy.drive_next(self._refresh_pending)
         idle_map = 0
         for bank in self.banks:

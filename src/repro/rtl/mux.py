@@ -8,11 +8,16 @@ data-phase owner published by the DDRC (``stream_owner``).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.ahb.types import HTrans
 from repro.kernel.cycle import CycleEngine
-from repro.rtl.signals import MasterSignals, NO_OWNER, SharedBusSignals
+from repro.rtl.signals import (
+    MasterSignals,
+    NO_OWNER,
+    SharedBusSignals,
+    SlaveResponseSignals,
+)
 
 
 class BusMux:
@@ -66,3 +71,67 @@ class BusMux:
         owner = self.bus.stream_owner.value
         if owner != NO_OWNER and owner < len(self.master_signals):
             self.bus.hwdata.drive(self.master_signals[owner].hwdata.value)
+
+
+class ResponseMux:
+    """Combines per-slave response bundles onto the shared bus.
+
+    The single-slave platform needs no such mux — the DDRC drives the
+    shared response signals directly.  With several slaves each drives
+    a private :class:`SlaveResponseSignals` bundle and this mux routes:
+
+    * ``hready``/``hrdata``/``stream_owner`` follow whichever slave is
+      streaming a data beat (at most one, since an address phase is only
+      presented when every slave reports the data path free);
+    * ``bus_available`` is the AND over slaves — a new address phase may
+      be presented only when the shared data path will be free for it;
+    * ``ddr_busy`` is the OR over slaves and ``ddr_remaining`` follows
+      the streaming slave, feeding the arbiter's pipelined-lock window.
+    """
+
+    def __init__(
+        self,
+        responses: Sequence[SlaveResponseSignals],
+        bus: SharedBusSignals,
+        engine: CycleEngine,
+    ) -> None:
+        self.responses = list(responses)
+        self.bus = bus
+        sens = []
+        for resp in self.responses:
+            sens.extend(
+                (
+                    resp.hready,
+                    resp.hrdata,
+                    resp.stream_owner,
+                    resp.bus_available,
+                    resp.ddr_busy,
+                    resp.ddr_remaining,
+                )
+            )
+        engine.add_combinational(self.evaluate, sensitive_to=sens)
+
+    def evaluate(self) -> None:
+        """Drive the shared response signals from the slave bundles."""
+        bus = self.bus
+        hready = 0
+        owner = NO_OWNER
+        available = 1
+        busy = 0
+        remaining = 0
+        for resp in self.responses:
+            if not hready and resp.hready.value:
+                hready = 1
+                owner = resp.stream_owner.value
+                bus.hrdata.drive(resp.hrdata.value)
+            if not resp.bus_available.value:
+                available = 0
+            if resp.ddr_busy.value:
+                busy = 1
+            if resp.ddr_remaining.value > remaining:
+                remaining = resp.ddr_remaining.value
+        bus.hready.drive(hready)
+        bus.stream_owner.drive(owner)
+        bus.bus_available.drive(available)
+        bus.ddr_busy.drive(busy)
+        bus.ddr_remaining.drive(remaining)

@@ -1,23 +1,26 @@
-"""RTL platform: wire the pin-accurate system together and run it.
+"""RTL platform record: the assembled pin-accurate system.
 
-Builds masters, arbiter, write buffer, mux, BI and DDRC over one
-:class:`~repro.kernel.cycle.CycleEngine`, from the same
-:class:`~repro.core.config.AhbPlusConfig` and
-:class:`~repro.traffic.workloads.Workload` the TLM platforms consume.
-The run loop steps the 2-step engine cycle by cycle until all traffic
-drains — this is the slow, per-cycle reference the paper measures its
-353× TLM speedup against.
+Holds the components the :class:`repro.system.PlatformBuilder` wires
+over one :class:`~repro.kernel.cycle.CycleEngine` and the run loop that
+steps the 2-step engine cycle by cycle until all traffic drains — this
+is the slow, per-cycle reference the paper measures its 353× TLM
+speedup against.  Multi-slave systems additionally carry the static
+slaves (SRAM/APB) elaborated next to the DDRC.
+
+``build_rtl_platform`` remains as a **deprecation shim** over the spec
+API with bit-for-bit identical output; new code should elaborate a
+:class:`repro.system.SystemSpec` via ``PlatformBuilder.build("rtl")``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.ahb.bus import TransactionObserver
 from repro.ahb.master import TlmMaster
 from repro.core.bus import AhbPlusRunResult
 from repro.core.config import AhbPlusConfig
-from repro.core.platform import config_for_workload
 from repro.core.qos import QosRegisterFile
 from repro.core.write_buffer import WriteBuffer
 from repro.ddr.memory import MemoryModel
@@ -27,13 +30,8 @@ from repro.kernel.tracing import VcdTracer
 from repro.rtl.arbiter import ArbiterRtl
 from repro.rtl.ddrc import DdrcRtl
 from repro.rtl.master import MasterRtl
-from repro.rtl.mux import BusMux
-from repro.rtl.signals import (
-    BiSignals,
-    MasterSignals,
-    SharedBusSignals,
-    all_signals,
-)
+from repro.rtl.signals import BiSignals, SharedBusSignals
+from repro.rtl.slave import StaticSlaveRtl
 from repro.rtl.write_buffer import BufferMasterRtl
 from repro.traffic.workloads import Workload
 
@@ -55,37 +53,97 @@ class RtlPlatform:
     bus: SharedBusSignals
     bi: BiSignals
     tracer: Optional[VcdTracer] = None
+    #: SRAM/APB slaves of a multi-slave fabric (empty on the paper topology).
+    static_slaves: List[StaticSlaveRtl] = field(default_factory=list)
+    #: Observers replayed at drain time (see :meth:`attach`).
+    observers: List[TransactionObserver] = field(default_factory=list)
 
     @property
     def memory(self) -> MemoryModel:
         return self.ddrc.memory
+
+    @property
+    def slaves(self) -> List[object]:
+        """DDRC plus static slaves (reporting convenience)."""
+        return [self.ddrc, *self.static_slaves]
+
+    def attach(self, observer: TransactionObserver) -> None:
+        """Register a ``(txn, grant, start, finish)`` observer.
+
+        The signal-level model has no per-transfer callback point, so
+        observers are *replayed* when :meth:`run` completes, in
+        completion order, with the grant/start/finish cycles the FSMs
+        recorded.  The delivered set mirrors what live TLM observers
+        see: transfers that actually used the bus — master transactions
+        plus write-buffer drains (master ``WRITE_BUFFER_MASTER``) —
+        while absorbed (posted) originals, which never reached the bus
+        themselves, are excluded.  Only the delivery *time* differs
+        from the TLM engines.
+        """
+        self.observers.append(observer)
 
     def _drained(self) -> bool:
         return (
             all(master.done for master in self.masters)
             and self.buffer_master.done
             and self.ddrc.idle
+            and all(slave.idle for slave in self.static_slaves)
         )
 
-    def run(self, max_cycles: int = 2_000_000) -> AhbPlusRunResult:
+    #: Drain bound used when ``run`` is called with ``max_cycles=None``
+    #: — the per-cycle engine needs *some* ceiling to fail loudly on a
+    #: deadlocked netlist rather than spin forever.
+    DEFAULT_MAX_CYCLES = 2_000_000
+
+    def run(self, max_cycles: Optional[int] = None) -> AhbPlusRunResult:
         """Step the cycle engine until all traffic drains.
 
-        Returns the same result record as the TLM engines so the
-        accuracy harness can compare field by field.
+        ``max_cycles=None`` (the :class:`~repro.system.Platform`
+        protocol's no-limit spelling) falls back to
+        :data:`DEFAULT_MAX_CYCLES`.  Returns the same result record as
+        the TLM engines so the accuracy harness can compare field by
+        field.
         """
-        self.engine.run_until(self._drained, max_cycles=max_cycles)
+        limit = max_cycles if max_cycles is not None else self.DEFAULT_MAX_CYCLES
+        self.engine.run_until(self._drained, max_cycles=limit)
         if not self._drained():
             raise SimulationError(
-                f"RTL platform did not drain within {max_cycles} cycles"
+                f"RTL platform did not drain within {limit} cycles"
             )
-        return self._result()
+        result = self._result()
+        self._replay_observers()
+        return result
+
+    def _replay_observers(self) -> None:
+        if not self.observers:
+            return
+        # Bus transfers only: non-posted master transactions (their
+        # grant/start/finish were stamped by the master FSM) and the
+        # buffer's drain transfers.  Absorbed originals never owned the
+        # bus — live TLM observers never see them either.
+        completed = [
+            txn
+            for agent in self.agents
+            for txn in agent.completed
+            if not txn.via_write_buffer
+        ]
+        completed.extend(self.buffer_master.drained_txns)
+        completed.sort(key=lambda txn: (txn.finished_at, txn.uid))
+        for observer in self.observers:
+            for txn in completed:
+                observer(txn, txn.granted_at, txn.started_at, txn.finished_at)
 
     def _result(self) -> AhbPlusRunResult:
+        transactions = self.ddrc.reads + self.ddrc.writes
+        data_beats = self.ddrc.data_beats
+        for slave in self.static_slaves:
+            transactions += slave.reads + slave.writes
+            data_beats += slave.data_beats
         return AhbPlusRunResult(
             cycles=self.engine.cycle,
-            transactions=self.ddrc.reads + self.ddrc.writes,
-            bytes_transferred=self.ddrc.data_beats * self.config.bus_width_bytes,
-            busy_cycles=self.ddrc.data_beats,
+            transactions=transactions,
+            bytes_transferred=data_beats * self.config.bus_width_bytes,
+            busy_cycles=data_beats,
             per_master_transactions=[
                 agent.transactions_completed for agent in self.agents
             ],
@@ -112,79 +170,18 @@ def build_rtl_platform(
     process skipping and reverts to the reference sweep-everything
     evaluate phase; the equivalence tests use it to assert that both
     modes produce cycle-identical traces.
+
+    .. deprecated::
+        Thin shim over :class:`repro.system.PlatformBuilder`; prefer
+        ``PlatformBuilder(spec).build("rtl")`` with a
+        :class:`~repro.system.SystemSpec`.  Output is bit-for-bit
+        identical to the pre-spec builder.
     """
-    cfg = config_for_workload(workload, config)
-    engine = CycleEngine(name=f"rtl:{workload.name}", sensitivity=not full_sweep)
-    agents = workload.build_masters()
+    from repro.core.platform import _paper_spec
+    from repro.system.platform import PlatformBuilder
 
-    bus = SharedBusSignals(bus_width_bits=cfg.bus_width_bytes * 8)
-    bi = BiSignals()
-    master_sigs = [MasterSignals(i) for i in range(cfg.num_masters)]
-    buffer_sig = MasterSignals(cfg.num_masters)  # the buffer's bus identity
-
-    qos = QosRegisterFile(cfg.num_masters)
-    for master, setting in cfg.qos.items():
-        qos.configure(master, setting)
-    write_buffer = WriteBuffer(
-        depth=cfg.write_buffer_depth, enabled=cfg.write_buffer_enabled
+    platform = PlatformBuilder(_paper_spec(workload, config)).build(
+        "rtl", trace=trace, full_sweep=full_sweep
     )
-
-    ddrc = DdrcRtl(
-        bus=bus,
-        bi=bi,
-        engine=engine,
-        timing=cfg.ddr_timing,
-        bus_bytes=cfg.bus_width_bytes,
-        refresh_enabled=cfg.refresh_enabled,
-    )
-    masters = [
-        MasterRtl(agent, master_sigs[agent.index], bus, engine)
-        for agent in agents
-    ]
-    buffer_master = BufferMasterRtl(
-        write_buffer, cfg.num_masters, buffer_sig, bus, engine
-    )
-    arbiter = ArbiterRtl(
-        masters=masters,
-        buffer_master=buffer_master,
-        write_buffer=write_buffer,
-        qos=qos,
-        config=cfg,
-        bus=bus,
-        bi=bi,
-        engine=engine,
-        ddrc_score=ddrc.access_score,
-    )
-    BusMux([*master_sigs, buffer_sig], bus, engine)
-
-    # Register every signal and the sequential processes.  Order matters
-    # only where components call each other directly: the arbiter's
-    # write-buffer absorption must run before the masters' own updates.
-    engine.add_signal(*all_signals([*master_sigs, buffer_sig], bus, bi))
-    engine.add_sequential(arbiter.update)
-    engine.add_sequential(ddrc.update)
-    engine.add_sequential(buffer_master.update)
-    for master in masters:
-        engine.add_sequential(master.update)
-
-    tracer: Optional[VcdTracer] = None
-    if trace:
-        tracer = VcdTracer()
-        tracer.add_signals(all_signals([*master_sigs, buffer_sig], bus, bi))
-        engine.add_cycle_hook(tracer.sample)
-
-    return RtlPlatform(
-        workload=workload,
-        config=cfg,
-        engine=engine,
-        agents=agents,
-        masters=masters,
-        buffer_master=buffer_master,
-        write_buffer=write_buffer,
-        arbiter=arbiter,
-        ddrc=ddrc,
-        qos=qos,
-        bus=bus,
-        bi=bi,
-        tracer=tracer,
-    )
+    assert isinstance(platform, RtlPlatform)
+    return platform

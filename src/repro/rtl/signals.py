@@ -13,7 +13,7 @@ the paper's RTL reference pays and its TLM avoids.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Sequence
 
 from repro.ahb.types import HBurst, HTrans
 from repro.kernel.signal import Signal, SignalBundle
@@ -66,6 +66,31 @@ class SharedBusSignals(SignalBundle):
         self.ddr_busy = self.make("ddr_busy")
 
 
+class SlaveResponseSignals(SignalBundle):
+    """One slave's private response channel on a multi-slave fabric.
+
+    Attribute names deliberately mirror the response half of
+    :class:`SharedBusSignals` (``hready``/``hrdata``/``stream_owner``/
+    ``bus_available``/``ddr_busy``/``ddr_remaining``) so a slave FSM can
+    drive either the shared bus directly (single-slave platform, the
+    paper topology) or its private bundle (multi-slave platform, where
+    the :class:`~repro.rtl.mux.ResponseMux` combines the bundles onto
+    the shared bus) through the same code path.
+    """
+
+    def __init__(self, name: str, bus_width_bits: int = 32) -> None:
+        super().__init__(f"s{name}")
+        self.hready = self.make("hready")
+        self.hrdata = self.make("hrdata", width=bus_width_bits)
+        self.stream_owner = self.make("stream_owner", width=8, reset=NO_OWNER)
+        #: An address phase presented this cycle will be accepted.
+        self.bus_available = self.make("bus_available", reset=1)
+        #: Some access is queued or streaming at this slave.
+        self.ddr_busy = self.make("ddr_busy")
+        #: Data beats left (incl. this cycle) in the in-flight access.
+        self.ddr_remaining = self.make("ddr_remaining", width=16)
+
+
 class BiSignals(SignalBundle):
     """The AHB+ Bus Interface channel (arbiter → DDRC and back)."""
 
@@ -84,10 +109,17 @@ class BiSignals(SignalBundle):
 
 
 def all_signals(
-    masters: List[MasterSignals], bus: SharedBusSignals, bi: BiSignals
+    masters: List[MasterSignals],
+    bus: SharedBusSignals,
+    bi: BiSignals,
+    extra: Sequence[SignalBundle] = (),
 ) -> List[Signal]:
-    """Flatten every signal for cycle-engine registration / tracing."""
+    """Flatten every signal for cycle-engine registration / tracing.
+
+    ``extra`` carries additional bundles — the per-slave response
+    channels of a multi-slave fabric.
+    """
     flat: List[Signal] = []
-    for bundle in [*masters, bus, bi]:
+    for bundle in [*masters, bus, bi, *extra]:
         flat.extend(bundle.signals())
     return flat

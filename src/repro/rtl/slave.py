@@ -1,0 +1,189 @@
+"""Pin-accurate fixed-latency slaves (SRAM scratchpads, APB bridges).
+
+A :class:`StaticSlaveRtl` is the signal-level counterpart of
+:class:`repro.ahb.slave.SramSlave`: the address phase takes one cycle,
+the first data beat completes after ``wait_states`` further cycles and
+each later beat after ``burst_wait_states`` — the classic AHB slave
+with an HREADY-stretched first access.  The beat arithmetic matches the
+TLM slave exactly, so a spec elaborated at both levels produces the
+same per-transfer cycle counts for static regions.
+
+On a multi-slave fabric the slave watches the shared address/control
+bus, claims only address phases its ``accepts`` predicate maps to its
+region, and answers over a private
+:class:`~repro.rtl.signals.SlaveResponseSignals` bundle that the
+:class:`~repro.rtl.mux.ResponseMux` combines onto the shared bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.ahb.burst import beat_addresses
+from repro.ahb.types import HBurst
+from repro.ddr.memory import MemoryModel
+from repro.errors import ConfigError, SimulationError
+from repro.kernel.cycle import CycleEngine
+from repro.rtl.signals import NO_OWNER, SharedBusSignals, SlaveResponseSignals
+
+
+@dataclass
+class _StaticAccess:
+    """One in-flight burst at a static slave."""
+
+    addrs: List[int]
+    is_write: bool
+    size_bytes: int
+    owner: int
+    first_beat: int
+    spacing: int
+    beats_done: int = 0
+
+    @property
+    def beats(self) -> int:
+        return len(self.addrs)
+
+    def beat_cycle(self, index: int) -> int:
+        """Cycle in which data beat *index* completes."""
+        return self.first_beat + index * self.spacing
+
+
+class StaticSlaveRtl:
+    """A fixed-latency memory-mapped slave at signal level."""
+
+    def __init__(
+        self,
+        name: str,
+        bus: SharedBusSignals,
+        out: SlaveResponseSignals,
+        engine: CycleEngine,
+        accepts: Callable[[int], bool],
+        wait_states: int = 1,
+        burst_wait_states: int = 0,
+        memory: Optional[MemoryModel] = None,
+        base: Optional[int] = None,
+        size: Optional[int] = None,
+    ) -> None:
+        """``base``/``size`` bound the backing store like the TLM slave.
+
+        A claimed beat outside ``[base, base + size)`` raises — the same
+        loud failure :class:`~repro.ahb.slave.SramSlave` produces, which
+        matters when this slave is the map's *default* slave and catches
+        addresses far outside its own store.
+        """
+        if wait_states < 0 or burst_wait_states < 0:
+            raise ConfigError("wait states must be non-negative")
+        self.name = name
+        self.bus = bus
+        self.out = out
+        self.engine = engine
+        self.accepts = accepts
+        self.wait_states = wait_states
+        self.burst_wait_states = burst_wait_states
+        self.base = base
+        self.size = size
+        self.memory = memory if memory is not None else MemoryModel(f"{name}.mem")
+        self._access: Optional[_StaticAccess] = None
+        # Statistics (mirror the DDRC's counters).
+        self.reads = 0
+        self.writes = 0
+        self.data_beats = 0
+
+    @property
+    def idle(self) -> bool:
+        """No burst in flight (the platform's drain check)."""
+        return self._access is None
+
+    def peek_word(self, addr: int, size_bytes: int = 4) -> int:
+        """Read the backing store without modelling timing (tests)."""
+        return self.memory.read(addr, size_bytes)
+
+    # -- sequential phase ---------------------------------------------------------
+
+    def update(self) -> None:
+        now = self.engine.cycle
+        self._process_beat(now)
+        self._accept_address_phase(now)
+        self._drive_outputs(now)
+
+    def _process_beat(self, now: int) -> None:
+        access = self._access
+        if access is None or access.beats_done >= access.beats:
+            return
+        if now != access.beat_cycle(access.beats_done):
+            return
+        addr = access.addrs[access.beats_done]
+        if access.is_write:
+            self.memory.write(addr, access.size_bytes, self.bus.hwdata.value)
+        access.beats_done += 1
+        self.data_beats += 1
+        if access.beats_done >= access.beats:
+            if access.is_write:
+                self.writes += 1
+            else:
+                self.reads += 1
+            self._access = None
+
+    def _accept_address_phase(self, now: int) -> None:
+        if self.bus.htrans.value != 0b10:  # HTrans.NONSEQ
+            return
+        addr = self.bus.haddr.value
+        if not self.accepts(addr):
+            return
+        if self._access is not None:
+            raise SimulationError(
+                f"{self.name}: address phase while a burst is in flight"
+            )
+        beats = self.bus.hlen.value
+        size_bytes = 1 << self.bus.hsize.value
+        wrapping = HBurst(self.bus.hburst.value).is_wrapping
+        addrs = beat_addresses(addr, beats, size_bytes, wrapping)
+        if self.base is not None and self.size is not None:
+            for beat_addr in addrs:
+                if not self.base <= beat_addr <= self.base + self.size - size_bytes:
+                    raise ConfigError(
+                        f"{self.name}: access {beat_addr:#x} outside "
+                        f"[{self.base:#x}, {self.base + self.size:#x})"
+                    )
+        self._access = _StaticAccess(
+            addrs=addrs,
+            is_write=bool(self.bus.hwrite.value),
+            size_bytes=size_bytes,
+            owner=self.bus.addr_owner.value,
+            first_beat=now + 1 + self.wait_states,
+            spacing=self.burst_wait_states + 1,
+        )
+
+    def _drive_outputs(self, now: int) -> None:
+        out = self.out
+        access = self._access
+        beat_next = (
+            access is not None
+            and access.beats_done < access.beats
+            and now + 1 == access.beat_cycle(access.beats_done)
+        )
+        if beat_next:
+            assert access is not None
+            out.hready.drive_next(1)
+            out.stream_owner.drive_next(access.owner)
+            if not access.is_write:
+                out.hrdata.drive_next(
+                    self.memory.read(
+                        access.addrs[access.beats_done], access.size_bytes
+                    )
+                )
+        else:
+            out.hready.drive_next(0)
+            out.stream_owner.drive_next(NO_OWNER)
+        final_beat_next = (
+            beat_next
+            and access is not None
+            and access.beats_done == access.beats - 1
+        )
+        out.bus_available.drive_next(access is None or final_beat_next)
+        out.ddr_busy.drive_next(access is not None)
+        if access is not None and now + 1 >= access.first_beat:
+            out.ddr_remaining.drive_next(access.beats - access.beats_done)
+        else:
+            out.ddr_remaining.drive_next(0)

@@ -12,7 +12,7 @@ during the drain sees the *next* entry, matching the TLM).
 from __future__ import annotations
 
 import enum
-from typing import Optional
+from typing import List, Optional
 
 from repro.ahb.transaction import Transaction
 from repro.ahb.types import HTrans
@@ -46,6 +46,10 @@ class BufferMasterRtl:
         self.state = DrainState.IDLE
         self._txn: Optional[Transaction] = None
         self._beat = 0
+        #: Completed drain transfers (master = WRITE_BUFFER_MASTER) with
+        #: their bus cycles — the platform's observer replay serves these
+        #: the way live TLM observers see buffer drains.
+        self.drained_txns: List[Transaction] = []
         # Same touch discipline as MasterRtl: evaluate() reads only
         # (hgrant, bus_available) and sequential-phase FSM state.
         self._eval = engine.add_combinational(
@@ -111,6 +115,7 @@ class BufferMasterRtl:
                     txn.finished_at = now
                     if txn.origin is not None:
                         txn.origin.drained_at = now
+                    self.drained_txns.append(txn)
                     self._txn = None
                     self.state = DrainState.IDLE
         elif self.state is DrainState.REQUEST:

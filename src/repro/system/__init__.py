@@ -1,0 +1,58 @@
+"""Declarative platform API: describe a system once, run it anywhere.
+
+* :class:`SystemSpec` (+ :class:`BusSpec`, :class:`SlaveSpec`) — the
+  topology description: workload binding, bus parameters, slave
+  address regions.  Plain frozen data: picklable, JSON round-trip.
+* :class:`PlatformBuilder` / :func:`build_platform` — elaborate a spec
+  into any engine (``tlm``, ``tlm-threaded``, ``plain``, ``rtl``)
+  behind the common :class:`Platform` protocol (``run()`` +
+  ``attach(observer)``).
+* :mod:`repro.system.scenarios` — the named-scenario registry: the
+  paper topology and the multi-slave DDR+SRAM+APB variants.
+* :func:`sweep` — expand one spec along one axis (config field, seed
+  or engine level) into an experiment grid.
+"""
+
+from repro.system.platform import (
+    AnyPlatform,
+    Platform,
+    PlatformBuilder,
+    build_platform,
+)
+from repro.system.scenarios import (
+    SCENARIOS,
+    multi_slave_soc,
+    paper_topology,
+    scenario,
+    scenario_names,
+    scratchpad_offload,
+)
+from repro.system.spec import (
+    LEVELS,
+    SLAVE_KINDS,
+    BusSpec,
+    SlaveSpec,
+    SweepPoint,
+    SystemSpec,
+    sweep,
+)
+
+__all__ = [
+    "AnyPlatform",
+    "BusSpec",
+    "LEVELS",
+    "Platform",
+    "PlatformBuilder",
+    "SCENARIOS",
+    "SLAVE_KINDS",
+    "SlaveSpec",
+    "SweepPoint",
+    "SystemSpec",
+    "build_platform",
+    "multi_slave_soc",
+    "paper_topology",
+    "scenario",
+    "scenario_names",
+    "scratchpad_offload",
+    "sweep",
+]

@@ -1,0 +1,391 @@
+"""Elaborate a :class:`~repro.system.spec.SystemSpec` into any engine.
+
+One description, four targets:
+
+========== ==================================================== ==========
+level      engine                                               result
+========== ==================================================== ==========
+tlm        method-based AHB+ TLM (:class:`AhbPlusBusTlm`)       TlmPlatform
+tlm-threaded thread-based AHB+ TLM (:class:`ThreadedAhbPlusBus`) TlmPlatform
+plain      unextended AMBA 2.0 baseline (:class:`PlainAhbBus`)  PlainPlatform
+rtl        pin-accurate 2-step cycle model                      RtlPlatform
+========== ==================================================== ==========
+
+Every product satisfies the :class:`Platform` protocol — ``run()``
+returning a :class:`~repro.ahb.bus.BusRunResult` (or richer subclass)
+and ``attach(observer)`` for profiling/assertion hooks — so analysis
+code is engine-agnostic: elaborating the same spec at a different level
+is a one-argument change, which is the paper's portability claim turned
+into an API.
+
+For the classic paper topology (one DDR slave at address zero) the
+elaboration is *structurally identical* to the legacy hard-coded
+builders — same construction order, same address map, same component
+arguments — so golden traces and Table-1 numbers reproduce bit-for-bit
+through either entry point.  Multi-slave specs additionally instantiate
+static slaves (SRAM scratchpads, APB bridge stubs), the multi-region
+address decode and, at RTL level, per-slave response channels combined
+by the :class:`~repro.rtl.mux.ResponseMux`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol, Union, runtime_checkable
+
+from repro.ahb.bus import BusRunResult, PlainAhbBus, TransactionObserver
+from repro.ahb.slave import ApbBridgeSlave, SramSlave, TlmSlave
+from repro.core.bus import AhbPlusBusTlm
+from repro.core.config import AhbPlusConfig
+from repro.core.platform import PlainPlatform, TlmPlatform
+from repro.core.qos import QosRegisterFile
+from repro.core.threaded import ThreadedAhbPlusBus
+from repro.core.write_buffer import WriteBuffer
+from repro.ddr.controller import DdrControllerTlm
+from repro.errors import ConfigError
+from repro.kernel.cycle import CycleEngine
+from repro.kernel.tracing import VcdTracer
+from repro.rtl.arbiter import ArbiterRtl
+from repro.rtl.ddrc import DdrcRtl
+from repro.rtl.master import MasterRtl
+from repro.rtl.mux import BusMux, ResponseMux
+from repro.rtl.platform import RtlPlatform
+from repro.rtl.signals import (
+    BiSignals,
+    MasterSignals,
+    SharedBusSignals,
+    SlaveResponseSignals,
+    all_signals,
+)
+from repro.rtl.slave import StaticSlaveRtl
+from repro.rtl.write_buffer import BufferMasterRtl
+from repro.system.spec import LEVELS, SlaveSpec, SystemSpec
+
+
+@runtime_checkable
+class Platform(Protocol):
+    """What every elaborated system exposes, regardless of engine."""
+
+    def run(self, max_cycles: Optional[int] = None) -> BusRunResult:
+        """Run the bound workload to completion."""
+        ...
+
+    def attach(self, observer: TransactionObserver) -> None:
+        """Register a ``(txn, grant, start, finish)`` observer."""
+        ...
+
+
+AnyPlatform = Union[TlmPlatform, PlainPlatform, RtlPlatform]
+
+
+def _build_tlm_slave(spec: SlaveSpec, cfg: AhbPlusConfig) -> TlmSlave:
+    """Instantiate the transaction-level model a slave spec names."""
+    if spec.kind == "ddr":
+        return DdrControllerTlm(
+            timing=cfg.ddr_timing,
+            bus_bytes=cfg.bus_width_bytes,
+            refresh_enabled=cfg.refresh_enabled,
+        )
+    if spec.kind == "sram":
+        return SramSlave(
+            name=spec.name,
+            size=spec.size,
+            wait_states=spec.wait_states,
+            burst_wait_states=spec.burst_wait_states,
+            base_addr=spec.base,
+        )
+    if spec.kind == "apb":
+        return ApbBridgeSlave(
+            name=spec.name,
+            size=spec.size,
+            setup_cycles=spec.setup_cycles,
+            base_addr=spec.base,
+        )
+    raise ConfigError(f"unknown slave kind {spec.kind!r}")  # unreachable
+
+
+class PlatformBuilder:
+    """Elaborates one :class:`SystemSpec` into any abstraction level."""
+
+    def __init__(self, spec: SystemSpec) -> None:
+        self.spec = spec
+
+    def build(
+        self,
+        level: str = "tlm",
+        *,
+        trace: bool = False,
+        full_sweep: bool = False,
+    ) -> AnyPlatform:
+        """Elaborate at *level* (one of :data:`~repro.system.spec.LEVELS`).
+
+        ``trace``/``full_sweep`` are RTL-only knobs (VCD tracing and the
+        reference sweep-everything evaluate phase).
+        """
+        if level not in LEVELS:
+            raise ConfigError(
+                f"unknown platform level {level!r}; choose from {LEVELS}"
+            )
+        if level != "rtl" and (trace or full_sweep):
+            raise ConfigError("trace/full_sweep only apply to the rtl level")
+        cfg = self.spec.config()
+        if level == "rtl":
+            return self._build_rtl(cfg, trace=trace, full_sweep=full_sweep)
+        if level == "plain":
+            return self._build_plain(cfg)
+        return self._build_tlm(cfg, threaded=(level == "tlm-threaded"))
+
+    # -- transaction level -------------------------------------------------------
+
+    def _tlm_slaves(self, cfg: AhbPlusConfig) -> List[TlmSlave]:
+        return [
+            _build_tlm_slave(sspec, cfg)
+            for sspec in self.spec.resolved_slaves(cfg)
+        ]
+
+    def _ddr_index(self, cfg: AhbPlusConfig) -> int:
+        for index, sspec in enumerate(self.spec.resolved_slaves(cfg)):
+            if sspec.kind == "ddr":
+                return index
+        raise ConfigError(f"system {self.spec.name}: no DDR slave")
+
+    def _build_tlm(self, cfg: AhbPlusConfig, threaded: bool) -> TlmPlatform:
+        workload = self.spec.workload
+        masters = workload.build_masters()
+        slaves = self._tlm_slaves(cfg)
+        ddrc = slaves[self._ddr_index(cfg)]
+        assert isinstance(ddrc, DdrControllerTlm)
+        address_map = self.spec.address_map(cfg)
+        bus_cls = ThreadedAhbPlusBus if threaded else AhbPlusBusTlm
+        bus = bus_cls(masters, slaves, config=cfg, address_map=address_map)
+        return TlmPlatform(
+            workload=workload,
+            config=cfg,
+            masters=masters,
+            ddrc=ddrc,
+            bus=bus,
+            slaves=slaves,
+        )
+
+    def _build_plain(self, cfg: AhbPlusConfig) -> PlainPlatform:
+        workload = self.spec.workload
+        masters = workload.build_masters()
+        slaves = self._tlm_slaves(cfg)
+        ddrc = slaves[self._ddr_index(cfg)]
+        assert isinstance(ddrc, DdrControllerTlm)
+        bus = PlainAhbBus(
+            masters,
+            slaves,
+            self.spec.address_map(cfg),
+            arbitration_cycles=max(cfg.arbitration_cycles, 1),
+        )
+        return PlainPlatform(
+            workload=workload,
+            masters=masters,
+            ddrc=ddrc,
+            bus=bus,
+            config=cfg,
+            slaves=slaves,
+        )
+
+    # -- register-transfer level ----------------------------------------------------
+
+    def _build_rtl(
+        self, cfg: AhbPlusConfig, trace: bool, full_sweep: bool
+    ) -> RtlPlatform:
+        workload = self.spec.workload
+        slave_specs = self.spec.resolved_slaves(cfg)
+        single_ddr = len(slave_specs) == 1 and slave_specs[0].kind == "ddr"
+
+        engine = CycleEngine(
+            name=f"rtl:{workload.name}", sensitivity=not full_sweep
+        )
+        agents = workload.build_masters()
+
+        bus = SharedBusSignals(bus_width_bits=cfg.bus_width_bytes * 8)
+        bi = BiSignals()
+        master_sigs = [MasterSignals(i) for i in range(cfg.num_masters)]
+        buffer_sig = MasterSignals(cfg.num_masters)  # the buffer's bus identity
+
+        qos = QosRegisterFile(cfg.num_masters)
+        for master, setting in cfg.qos.items():
+            qos.configure(master, setting)
+        write_buffer = WriteBuffer(
+            depth=cfg.write_buffer_depth, enabled=cfg.write_buffer_enabled
+        )
+
+        static_slaves: List[StaticSlaveRtl] = []
+        responses: List[SlaveResponseSignals] = []
+        if single_ddr:
+            # Paper topology: the DDRC answers on the shared bus itself —
+            # structurally identical to the legacy hard-coded builder.
+            ddrc = DdrcRtl(
+                bus=bus,
+                bi=bi,
+                engine=engine,
+                timing=cfg.ddr_timing,
+                bus_bytes=cfg.bus_width_bytes,
+                refresh_enabled=cfg.refresh_enabled,
+            )
+            score: Callable[[int], int] = ddrc.access_score
+        else:
+            ddrc, score = self._build_rtl_slaves(
+                cfg, slave_specs, bus, bi, engine, static_slaves, responses
+            )
+            ResponseMux(responses, bus, engine)
+
+        masters = [
+            MasterRtl(agent, master_sigs[agent.index], bus, engine)
+            for agent in agents
+        ]
+        buffer_master = BufferMasterRtl(
+            write_buffer, cfg.num_masters, buffer_sig, bus, engine
+        )
+        arbiter = ArbiterRtl(
+            masters=masters,
+            buffer_master=buffer_master,
+            write_buffer=write_buffer,
+            qos=qos,
+            config=cfg,
+            bus=bus,
+            bi=bi,
+            engine=engine,
+            ddrc_score=score,
+        )
+        BusMux([*master_sigs, buffer_sig], bus, engine)
+
+        # Register every signal and the sequential processes.  Order matters
+        # only where components call each other directly: the arbiter's
+        # write-buffer absorption must run before the masters' own updates.
+        engine.add_signal(
+            *all_signals([*master_sigs, buffer_sig], bus, bi, extra=responses)
+        )
+        engine.add_sequential(arbiter.update)
+        engine.add_sequential(ddrc.update)
+        for slave in static_slaves:
+            engine.add_sequential(slave.update)
+        engine.add_sequential(buffer_master.update)
+        for master in masters:
+            engine.add_sequential(master.update)
+
+        tracer: Optional[VcdTracer] = None
+        if trace:
+            tracer = VcdTracer()
+            tracer.add_signals(
+                all_signals([*master_sigs, buffer_sig], bus, bi, extra=responses)
+            )
+            engine.add_cycle_hook(tracer.sample)
+
+        return RtlPlatform(
+            workload=workload,
+            config=cfg,
+            engine=engine,
+            agents=agents,
+            masters=masters,
+            buffer_master=buffer_master,
+            write_buffer=write_buffer,
+            arbiter=arbiter,
+            ddrc=ddrc,
+            qos=qos,
+            bus=bus,
+            bi=bi,
+            tracer=tracer,
+            static_slaves=static_slaves,
+        )
+
+    def _build_rtl_slaves(
+        self,
+        cfg: AhbPlusConfig,
+        slave_specs,
+        bus: SharedBusSignals,
+        bi: BiSignals,
+        engine: CycleEngine,
+        static_slaves: List[StaticSlaveRtl],
+        responses: List[SlaveResponseSignals],
+    ):
+        """Instantiate the multi-slave fabric; returns (ddrc, score_fn)."""
+        ddrc: Optional[DdrcRtl] = None
+        ddr_spec: Optional[SlaveSpec] = None
+        width_bits = cfg.bus_width_bytes * 8
+        # Route address phases through the *map*, not raw region bounds:
+        # that honours the default-slave fallback at RTL exactly as the
+        # TLM buses do, and an unmapped address on a strict map raises
+        # (MemoryError_) instead of hanging the bus with no responder.
+        # All slaves (and the score oracle) probe the same address in the
+        # same cycle, so one memoized decode serves every probe.
+        amap = self.spec.address_map(cfg)
+        last_decode: List[int] = [-1, -1]  # [addr, slave index]
+
+        def route(addr: int) -> int:
+            if addr != last_decode[0]:
+                last_decode[0] = addr
+                last_decode[1] = amap.slave_for(addr)
+            return last_decode[1]
+
+        def claims(index: int) -> Callable[[int], bool]:
+            def accepts(addr: int, _index: int = index) -> bool:
+                return route(addr) == _index
+
+            return accepts
+
+        ddr_index = -1
+        for index, sspec in enumerate(slave_specs):
+            resp = SlaveResponseSignals(sspec.name, bus_width_bits=width_bits)
+            responses.append(resp)
+            if sspec.kind == "ddr":
+                ddr_spec = sspec
+                ddr_index = index
+                ddrc = DdrcRtl(
+                    bus=bus,
+                    bi=bi,
+                    engine=engine,
+                    timing=cfg.ddr_timing,
+                    bus_bytes=cfg.bus_width_bytes,
+                    refresh_enabled=cfg.refresh_enabled,
+                    out=resp,
+                    accepts=claims(index),
+                )
+            else:
+                wait, burst_wait = (
+                    (sspec.setup_cycles, sspec.setup_cycles)
+                    if sspec.kind == "apb"
+                    else (sspec.wait_states, sspec.burst_wait_states)
+                )
+                static_slaves.append(
+                    StaticSlaveRtl(
+                        name=sspec.name,
+                        bus=bus,
+                        out=resp,
+                        engine=engine,
+                        accepts=claims(index),
+                        wait_states=wait,
+                        burst_wait_states=burst_wait,
+                        base=sspec.base,
+                        size=sspec.size,
+                    )
+                )
+        assert ddrc is not None and ddr_spec is not None  # spec validated
+
+        ddr_score = ddrc.access_score
+
+        def score(addr: int) -> int:
+            # Route through the map (not raw DDR bounds) so an address
+            # the default slave catches scores exactly as at TLM, where
+            # make_routed_score uses AddressMap.slave_for.  Static
+            # slaves have no bank structure: constant best score, so
+            # the bank filter only differentiates DDR candidates.
+            return ddr_score(addr) if route(addr) == ddr_index else 0
+
+        return ddrc, score
+
+
+def build_platform(
+    spec: SystemSpec,
+    level: str = "tlm",
+    *,
+    trace: bool = False,
+    full_sweep: bool = False,
+) -> AnyPlatform:
+    """One-call elaboration: ``build_platform(spec, "rtl")``."""
+    return PlatformBuilder(spec).build(
+        level, trace=trace, full_sweep=full_sweep
+    )

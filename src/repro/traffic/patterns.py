@@ -14,7 +14,7 @@ A :class:`TrafficPattern` is pure description — generation happens in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import TrafficError
@@ -89,6 +89,42 @@ class TrafficPattern:
     def is_real_time(self) -> bool:
         """Patterns with a deadline are real-time streams."""
         return self.deadline_offset is not None
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of the pattern's knobs."""
+        return {
+            "name": self.name,
+            "read_fraction": self.read_fraction,
+            "burst_mix": [list(pair) for pair in self.burst_mix],
+            "think_range": list(self.think_range),
+            "base_addr": self.base_addr,
+            "addr_span": self.addr_span,
+            "sequential_fraction": self.sequential_fraction,
+            "stride_bytes": self.stride_bytes,
+            "size_bytes": self.size_bytes,
+            "wrap_fraction": self.wrap_fraction,
+            "period": self.period,
+            "deadline_offset": self.deadline_offset,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrafficPattern":
+        """Rebuild a pattern; the constructor re-validates every knob."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise TrafficError(
+                f"unknown TrafficPattern fields {sorted(unknown)}"
+            )
+        kwargs = dict(data)
+        if "burst_mix" in kwargs:
+            kwargs["burst_mix"] = tuple(
+                (int(beats), float(weight)) for beats, weight in kwargs["burst_mix"]
+            )
+        if "think_range" in kwargs:
+            lo, hi = kwargs["think_range"]
+            kwargs["think_range"] = (int(lo), int(hi))
+        return cls(**kwargs)
 
 
 # -- canonical patterns (the knobs behind Table 1's traffic variations) -----

@@ -40,6 +40,27 @@ class MasterSpec:
     transactions: int
     qos: QosSetting = field(default_factory=QosSetting)
 
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (patterns/QoS nest their own dicts)."""
+        return {
+            "name": self.name,
+            "pattern": self.pattern.to_dict(),
+            "transactions": self.transactions,
+            "qos": self.qos.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MasterSpec":
+        missing = {"name", "pattern", "transactions"} - set(data)
+        if missing:
+            raise TrafficError(f"MasterSpec needs fields {sorted(missing)}")
+        return cls(
+            name=data["name"],
+            pattern=TrafficPattern.from_dict(data["pattern"]),
+            transactions=int(data["transactions"]),
+            qos=QosSetting.from_dict(data.get("qos", {})),
+        )
+
 
 @dataclass(frozen=True)
 class Workload:
@@ -88,6 +109,28 @@ class Workload:
     def with_seed(self, seed: int) -> "Workload":
         """Same mix under a different seed."""
         return replace(self, seed=seed)
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping of the full scenario description."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "masters": [spec.to_dict() for spec in self.masters],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Workload":
+        """Rebuild a workload; constructors re-validate all the way down."""
+        missing = {"name", "masters"} - set(data)
+        if missing:
+            raise TrafficError(f"Workload needs fields {sorted(missing)}")
+        return cls(
+            name=data["name"],
+            masters=tuple(
+                MasterSpec.from_dict(spec) for spec in data["masters"]
+            ),
+            seed=int(data.get("seed", 1)),
+        )
 
 
 def _window(pattern: TrafficPattern, index: int, window: int = 1 << 20) -> TrafficPattern:

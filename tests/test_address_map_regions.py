@@ -1,0 +1,145 @@
+"""Multi-region AddressMap decoding: overlaps, defaults, boundaries.
+
+The multi-slave scenarios route every transfer through
+``AddressMap.slave_for``; these tests pin the decode semantics the
+system layer relies on: overlapping regions are rejected at
+construction, unmapped addresses either raise (strict mode) or fall to
+the configured default slave, and decoding is exact at the first/last
+byte of each region — including the beat addresses of wrap bursts
+placed against a region edge.
+"""
+
+import pytest
+
+from repro.ahb import AddressMap, Region, single_slave_map
+from repro.ahb.burst import beat_addresses
+from repro.errors import ConfigError, MemoryError_
+
+DDR_BASE, DDR_SIZE = 0x0000_0000, 1 << 26
+SRAM_BASE, SRAM_SIZE = 0x0800_0000, 1 << 20
+APB_BASE, APB_SIZE = 0x0900_0000, 1 << 16
+
+
+def soc_map(default_slave=None) -> AddressMap:
+    amap = AddressMap(default_slave=default_slave)
+    amap.add("ddr", DDR_BASE, DDR_SIZE, 0)
+    amap.add("sram", SRAM_BASE, SRAM_SIZE, 1)
+    amap.add("apb", APB_BASE, APB_SIZE, 2)
+    return amap
+
+
+class TestOverlapRejection:
+    def test_identical_region_rejected(self):
+        amap = soc_map()
+        with pytest.raises(ConfigError, match="overlaps"):
+            amap.add("sram2", SRAM_BASE, SRAM_SIZE, 3)
+
+    def test_partial_overlap_from_below_rejected(self):
+        amap = soc_map()
+        with pytest.raises(ConfigError, match="overlaps"):
+            amap.add("bad", SRAM_BASE - 0x100, 0x200, 3)
+
+    def test_region_swallowing_another_rejected(self):
+        amap = soc_map()
+        with pytest.raises(ConfigError, match="overlaps"):
+            amap.add("huge", 0, 1 << 32, 3)
+
+    def test_rejected_region_leaves_map_unchanged(self):
+        amap = soc_map()
+        with pytest.raises(ConfigError):
+            amap.add("bad", SRAM_BASE, 4, 3)
+        assert len(amap.regions) == 3
+        assert amap.slave_for(SRAM_BASE) == 1
+
+    def test_adjacent_regions_are_legal(self):
+        amap = AddressMap()
+        amap.add("lo", 0x0, 0x1000, 0)
+        amap.add("hi", 0x1000, 0x1000, 1)  # touches, does not overlap
+        assert amap.slave_for(0x0FFF) == 0
+        assert amap.slave_for(0x1000) == 1
+
+    def test_bad_region_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            Region(name="bad", base=-4, size=16, slave_index=0)
+        with pytest.raises(ConfigError):
+            Region(name="bad", base=0, size=0, slave_index=0)
+
+
+class TestUnmappedAddresses:
+    def test_strict_map_raises_on_unmapped(self):
+        amap = soc_map()
+        hole = SRAM_BASE - 4  # between DDR top and SRAM base
+        with pytest.raises(MemoryError_, match="no mapped region"):
+            amap.decode(hole)
+        with pytest.raises(MemoryError_):
+            amap.slave_for(hole)
+        assert amap.try_decode(hole) is None
+
+    def test_default_slave_catches_unmapped(self):
+        amap = soc_map(default_slave=2)
+        hole = APB_BASE + APB_SIZE + 0x40
+        assert amap.slave_for(hole) == 2
+        # Mapped addresses still route to their own region.
+        assert amap.slave_for(DDR_BASE) == 0
+        assert amap.slave_for(SRAM_BASE + 0x10) == 1
+
+    def test_default_slave_does_not_relax_decode(self):
+        # decode() reports *regions*; an unmapped address has none even
+        # when routing falls back to the default slave.
+        amap = soc_map(default_slave=0)
+        assert amap.try_decode(SRAM_BASE - 4) is None
+
+    def test_negative_default_slave_rejected(self):
+        with pytest.raises(ConfigError):
+            AddressMap(default_slave=-1)
+
+
+class TestRegionBoundaries:
+    @pytest.mark.parametrize(
+        "base,size,index",
+        [(DDR_BASE, DDR_SIZE, 0), (SRAM_BASE, SRAM_SIZE, 1), (APB_BASE, APB_SIZE, 2)],
+    )
+    def test_first_and_last_byte_route_inside(self, base, size, index):
+        amap = soc_map()
+        assert amap.slave_for(base) == index
+        assert amap.slave_for(base + size - 1) == index
+        assert amap.decode(base).slave_index == index
+        assert amap.decode(base + size - 1).slave_index == index
+
+    def test_one_past_the_end_is_outside(self):
+        amap = soc_map()
+        with pytest.raises(MemoryError_):
+            amap.slave_for(APB_BASE + APB_SIZE)
+        # SRAM end falls into unmapped space before the APB base.
+        with pytest.raises(MemoryError_):
+            amap.slave_for(SRAM_BASE + SRAM_SIZE)
+
+    def test_wrap_burst_at_region_edge_stays_inside(self):
+        """A WRAP16 burst whose block touches the region top never
+        produces a beat outside the region: the wrap block is aligned to
+        its own size, so all beats land within [block_base, block_end)."""
+        amap = soc_map()
+        block = 16 * 4
+        top_block = SRAM_BASE + SRAM_SIZE - block
+        # Start mid-block: beats wrap to the block base, not past the end.
+        addrs = beat_addresses(top_block + 32, beats=16, size_bytes=4, wrapping=True)
+        assert len(addrs) == 16
+        assert min(addrs) == top_block
+        assert max(addrs) == SRAM_BASE + SRAM_SIZE - 4
+        assert all(amap.slave_for(a) == 1 for a in addrs)
+
+    def test_incr_burst_across_adjacent_region_edge(self):
+        """INCR beat addresses decode per beat: a burst laid across two
+        adjacent regions routes its beats to different slaves (bus models
+        prevent this by the 1 KB rule + aligned bases; the decoder itself
+        must still answer consistently)."""
+        amap = AddressMap()
+        amap.add("lo", 0x0, 0x1000, 0)
+        amap.add("hi", 0x1000, 0x1000, 1)
+        addrs = beat_addresses(0x1000 - 8, beats=4, size_bytes=4, wrapping=False)
+        routed = [amap.slave_for(a) for a in addrs]
+        assert routed == [0, 0, 1, 1]
+
+    def test_span_sums_regions(self):
+        assert soc_map().span() == DDR_SIZE + SRAM_SIZE + APB_SIZE
+        assert single_slave_map(1 << 20).span() == 1 << 20

@@ -1,0 +1,47 @@
+"""Import-and-run guard: every documented example must run to completion.
+
+The examples are the public face of the API; this suite (also exposed
+as ``make smoke``) runs each script under ``examples/`` in a fresh
+interpreter, so API churn can never silently break a documented entry
+point.  Scripts with a ``--transactions`` knob run scaled down to keep
+the tier-1 wall time low.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+
+#: Extra argv per script (keep the slow ones short in CI).
+EXTRA_ARGS = {
+    "accuracy_validation.py": ["--transactions", "25"],
+}
+
+SCRIPTS = sorted(path.name for path in EXAMPLES.glob("*.py"))
+
+
+def test_examples_directory_is_populated():
+    assert len(SCRIPTS) >= 7  # keep the guard honest if examples move
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs_to_completion(script):
+    env_path = str(REPO / "src")
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *EXTRA_ARGS.get(script, [])],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=str(REPO),
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin:/usr/local/bin"},
+    )
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\n"
+        f"--- stdout ---\n{proc.stdout[-2000:]}\n"
+        f"--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} printed nothing"
