@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-baseline bench-tables
+.PHONY: test smoke bench bench-baseline bench-tables sweep-demo
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -22,3 +22,8 @@ bench-baseline:
 # The full paper-table benchmark suite (slow; pytest-benchmark output).
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q
+
+# Small process-backend sweep (serial-vs-process determinism + speedup).
+# Also exercised by the examples smoke test inside tier-1.
+sweep-demo:
+	$(PYTHON) examples/sweep_demo.py

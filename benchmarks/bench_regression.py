@@ -10,6 +10,13 @@ Usage (see also ``make bench`` / ``make bench-baseline``)::
         Run the suite and rewrite BENCH_speed.json's ``current`` block
         (the ``seed`` block — the pre-optimisation measurement — is
         preserved so cumulative speedups keep their reference).
+
+Beyond the per-model Kcycles/s gate, the suite measures traffic
+generation (items/s per mode) and end-to-end sweep execution (the A5
+filter grid, serial vs process).  On hosts with more than one worker
+the process backend must beat serial by ``--min-sweep-speedup``
+(default 1.5x); on single-CPU hosts the speedup is recorded but not
+gated — a pool of one worker can only add overhead.
 """
 
 from __future__ import annotations
@@ -59,6 +66,15 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeats-rtl", type=int, default=3, help="best-of-N for RTL runs"
     )
+    parser.add_argument(
+        "--min-sweep-speedup",
+        type=float,
+        default=1.5,
+        help=(
+            "required process-over-serial sweep speedup when the host "
+            "has more than one worker (default: 1.5)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     fresh = run_speed_suite(
@@ -66,7 +82,14 @@ def main(argv=None) -> int:
     )
     print(render_block(fresh, title="this run"))
 
+    # Baseline-independent gate: the sweep speedup is a property of
+    # *this* run, so it fires on every path (except an explicit
+    # baseline rewrite, where it is surfaced as a warning).
+    sweep_failures = _check_sweep_speedup(fresh, args.min_sweep_speedup)
+
     if args.write_baseline:
+        for failure in sweep_failures:
+            print(f"WARNING: {failure}", file=sys.stderr)
         seed = None
         if args.baseline.exists():
             seed = load_report(args.baseline).get("seed")
@@ -81,6 +104,10 @@ def main(argv=None) -> int:
             f"no baseline at {args.baseline}; run with --write-baseline first",
             file=sys.stderr,
         )
+        if sweep_failures:
+            for failure in sweep_failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
         return 2
 
     baseline = load_report(args.baseline)
@@ -91,17 +118,40 @@ def main(argv=None) -> int:
     if not same_host(fresh, baseline):
         print(
             "baseline was recorded on a different host; absolute Kcycles/s "
-            "do not transfer between machines — skipping the regression "
-            "gate. Run `make bench-baseline` on this host first."
+            "do not transfer between machines, so only cycle-count "
+            "determinism and the sweep speedup are graded. Run "
+            "`make bench-baseline` on this host for the full gate."
         )
-        return 0
+    # compare_reports skips the Kcycles/s thresholds itself on a host
+    # mismatch but always grades simulated-cycle determinism.
     failures = compare_reports(fresh, baseline, threshold=args.threshold)
+    failures.extend(sweep_failures)
     if failures:
         for failure in failures:
             print(f"REGRESSION: {failure}", file=sys.stderr)
         return 1
     print(f"ok: within {args.threshold:.0%} of baseline for all models")
     return 0
+
+
+def _check_sweep_speedup(fresh: dict, minimum: float) -> list:
+    """Gate the process-backend sweep speedup on multi-worker hosts."""
+    sweep = fresh.get("sweep")
+    if not sweep:
+        return []
+    if sweep["workers"] <= 1:
+        print(
+            "note: single-worker host — process-over-serial sweep speedup "
+            f"({sweep['process_over_serial']}x) is recorded but not gated."
+        )
+        return []
+    if sweep["process_over_serial"] < minimum:
+        return [
+            f"sweep: process backend is only {sweep['process_over_serial']}x "
+            f"over serial with {sweep['workers']} workers "
+            f"(required: {minimum}x)"
+        ]
+    return []
 
 
 if __name__ == "__main__":

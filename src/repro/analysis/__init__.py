@@ -5,6 +5,8 @@ from repro.analysis.bench_io import (
     load_report,
     make_report,
     run_speed_suite,
+    run_sweep_suite,
+    run_trafficgen_suite,
     write_report,
 )
 from repro.analysis.accuracy import (
@@ -62,7 +64,9 @@ __all__ = [
     "render_speed",
     "render_table1",
     "run_speed_suite",
+    "run_sweep_suite",
     "run_table1",
+    "run_trafficgen_suite",
     "speed_comparison",
     "write_report",
 ]

@@ -7,17 +7,26 @@ module reproduces that methodology: one :func:`compare_models` call runs
 a workload on both models (identical seeds), checks functional
 equivalence (final memory images, per-master read data) and reports the
 per-master and total cycle differences.
+
+Execution rides the :class:`~repro.exec.SweepRunner` layer: the two
+models are an *engine-axis sweep* of the same paper-topology spec, and
+a collector captures the functional evidence (memory image, read
+streams, per-master last bus activity) while each platform is alive —
+which is what lets the whole Table-1 regeneration shard over the
+process backend (``backend="process"``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import AhbPlusConfig
 from repro.errors import SimulationError
-from repro.system.platform import PlatformBuilder
+from repro.exec import SweepRunner
+from repro.system.platform import platform_agents
 from repro.system.scenarios import paper_topology
+from repro.system.spec import SweepPoint, sweep
 from repro.traffic.workloads import Workload
 
 
@@ -112,24 +121,6 @@ class Table1Result:
         return all(suite.functional_match for suite in self.suites)
 
 
-def _read_streams_equal(rtl_agents, tlm_agents) -> bool:
-    """Per-master read-data equivalence between the two models."""
-    for rtl_agent, tlm_agent in zip(rtl_agents, tlm_agents):
-        rtl_reads = [
-            (txn.addr, tuple(txn.data))
-            for txn in rtl_agent.completed
-            if not txn.is_write
-        ]
-        tlm_reads = [
-            (txn.addr, tuple(txn.data))
-            for txn in tlm_agent.completed
-            if not txn.is_write
-        ]
-        if rtl_reads != tlm_reads:
-            return False
-    return True
-
-
 def _last_bus_activity(completed) -> int:
     """Cycle of the master's final *physical* bus effect.
 
@@ -140,10 +131,50 @@ def _last_bus_activity(completed) -> int:
     return max(max(txn.finished_at, txn.drained_at) for txn in completed)
 
 
+def _collect_functional(point: SweepPoint, platform, result) -> Dict[str, object]:
+    """Functional evidence for the cross-model comparison (picklable).
+
+    The memory image drops zero bytes (zero equals unwritten, matching
+    ``MemoryModel.equal_contents``), so two models that wrote the same
+    values compare equal however their stores are shaped.
+    """
+    agents = platform_agents(platform)
+    return {
+        "image": tuple(
+            (addr, byte) for addr, byte in platform.memory.items() if byte
+        ),
+        "reads": tuple(
+            tuple(
+                (txn.addr, tuple(txn.data))
+                for txn in agent.completed
+                if not txn.is_write
+            )
+            for agent in agents
+        ),
+        "last_activity": tuple(
+            _last_bus_activity(agent.completed) for agent in agents
+        ),
+    }
+
+
+def _first_image_difference(
+    rtl_image: Tuple[Tuple[int, int], ...], tlm_image: Tuple[Tuple[int, int], ...]
+) -> Tuple[int, int, int]:
+    """First (addr, rtl_byte, tlm_byte) mismatch between two images."""
+    rtl_map, tlm_map = dict(rtl_image), dict(tlm_image)
+    for addr in sorted(set(rtl_map) | set(tlm_map)):
+        mine, theirs = rtl_map.get(addr, 0), tlm_map.get(addr, 0)
+        if mine != theirs:
+            return addr, mine, theirs
+    raise SimulationError("memory images are identical")
+
+
 def compare_models(
     workload: Workload,
     config: Optional[AhbPlusConfig] = None,
     max_rtl_cycles: int = 5_000_000,
+    backend: str = "serial",
+    runner: Optional[SweepRunner] = None,
 ) -> WorkloadAccuracy:
     """Run *workload* at both abstraction levels and compare.
 
@@ -152,50 +183,62 @@ def compare_models(
     because timing accuracy numbers are meaningless if the models
     compute different results.
     """
-    builder = PlatformBuilder(paper_topology(workload=workload, config=config))
-    rtl = builder.build("rtl")
-    rtl_result = rtl.run(max_cycles=max_rtl_cycles)
-    tlm = builder.build("tlm")
-    tlm_result = tlm.run()
+    spec = paper_topology(workload=workload, config=config)
+    grid = sweep(spec, axis="engine", values=("rtl", "tlm"))
+    active = runner if runner is not None else SweepRunner(backend=backend)
+    # One grid, so the process backend runs both models concurrently;
+    # the cycle ceiling bounds only the (slow, per-cycle) RTL point —
+    # the TLM stays unbounded exactly as the pre-runner harness ran it.
+    rtl_rec, tlm_rec = active.run(
+        grid,
+        collect=_collect_functional,
+        max_cycles=lambda point: (
+            max_rtl_cycles if point.engine == "rtl" else None
+        ),
+    )
 
-    memory_match = rtl.memory.equal_contents(tlm.memory)
-    reads_match = _read_streams_equal(rtl.agents, tlm.masters)
+    memory_match = rtl_rec.metric("image") == tlm_rec.metric("image")
+    reads_match = rtl_rec.metric("reads") == tlm_rec.metric("reads")
     if not memory_match:
-        addr, rtl_byte, tlm_byte = rtl.memory.first_difference(tlm.memory)
+        addr, rtl_byte, tlm_byte = _first_image_difference(
+            rtl_rec.metric("image"), tlm_rec.metric("image")  # type: ignore[arg-type]
+        )
         raise SimulationError(
             f"functional mismatch on {workload.name}: memory[{addr:#x}] "
             f"RTL={rtl_byte:#04x} TLM={tlm_byte:#04x}"
         )
 
-    rows = []
-    for index, spec in enumerate(workload.masters):
-        rtl_last = _last_bus_activity(rtl.agents[index].completed)
-        tlm_last = _last_bus_activity(tlm.masters[index].completed)
-        rows.append(
-            MasterAccuracy(
-                master=index,
-                name=spec.name,
-                rtl_cycles=rtl_last,
-                tlm_cycles=tlm_last,
-            )
+    rtl_last = rtl_rec.metric("last_activity")
+    tlm_last = tlm_rec.metric("last_activity")
+    rows = [
+        MasterAccuracy(
+            master=index,
+            name=spec_.name,
+            rtl_cycles=rtl_last[index],  # type: ignore[index]
+            tlm_cycles=tlm_last[index],  # type: ignore[index]
         )
+        for index, spec_ in enumerate(workload.masters)
+    ]
     return WorkloadAccuracy(
         workload=workload.name,
         rows=rows,
-        rtl_total=rtl_result.cycles,
-        tlm_total=tlm_result.cycles,
+        rtl_total=rtl_rec.cycles,
+        tlm_total=tlm_rec.cycles,
         functional_match=memory_match and reads_match,
-        rtl_transactions=rtl_result.transactions,
-        tlm_transactions=tlm_result.transactions,
+        rtl_transactions=rtl_rec.transactions,
+        tlm_transactions=tlm_rec.transactions,
     )
 
 
 def run_table1(
     workloads: Sequence[Workload],
     config: Optional[AhbPlusConfig] = None,
+    backend: str = "serial",
 ) -> Table1Result:
     """Regenerate Table 1 over the given traffic-pattern suites."""
     result = Table1Result()
     for workload in workloads:
-        result.suites.append(compare_models(workload, config=config))
+        result.suites.append(
+            compare_models(workload, config=config, backend=backend)
+        )
     return result

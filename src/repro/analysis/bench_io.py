@@ -35,6 +35,10 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.analysis.speed import SpeedSample, measure_rtl, measure_tlm
+from repro.errors import SimulationError
+from repro.exec import SweepRunner, default_workers
+from repro.traffic.generator import generate_items
+from repro.traffic.patterns import DMA
 from repro.traffic.workloads import single_master_workload, table1_pattern_a
 
 #: Schema version of BENCH_speed.json.
@@ -45,6 +49,13 @@ SCHEMA = 1
 TLM_TRANSACTIONS = 300
 SINGLE_MASTER_TRANSACTIONS = 600
 RTL_TRANSACTIONS = 40
+
+#: Traffic-generation throughput suite sizing.
+TRAFFICGEN_ITEMS = 30_000
+TRAFFICGEN_SEED = 11
+
+#: Sweep-execution suite sizing (the A5 filter-ablation grid).
+SWEEP_TRANSACTIONS = 120
 
 #: Models measured by the suite (report keys).
 MODELS = ("tlm_method", "tlm_single_master", "rtl")
@@ -74,13 +85,85 @@ def _sample_dict(sample: SpeedSample) -> Dict[str, float]:
     }
 
 
+def run_trafficgen_suite(
+    items: int = TRAFFICGEN_ITEMS, repeats: int = 3
+) -> Dict[str, object]:
+    """Traffic-generation throughput: items/s per generator mode.
+
+    Times the canonical DMA pattern (long bursts, 50 % writes, so the
+    data-word draws are exercised) through the legacy-exact ``compat``
+    mode and the batched ``stream`` mode.
+    """
+    modes: Dict[str, object] = {}
+    rates: Dict[str, float] = {}
+    for mode in ("compat", "stream"):
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            start = time.perf_counter()
+            generated = generate_items(
+                DMA, 0, items, TRAFFICGEN_SEED, mode=mode
+            )
+            best = min(best, time.perf_counter() - start)
+        if len(generated) != items:  # rate guard: must survive python -O
+            raise SimulationError(
+                f"{mode} generator produced {len(generated)} of {items} items"
+            )
+        rates[mode] = items / best
+        modes[mode] = {
+            "items_per_sec": round(rates[mode], 1),
+            "wall_seconds": round(best, 6),
+        }
+    return {
+        "items": items,
+        "modes": modes,
+        "stream_over_compat": round(rates["stream"] / rates["compat"], 3),
+    }
+
+
+def run_sweep_suite(
+    transactions: int = SWEEP_TRANSACTIONS,
+    workers: Optional[int] = None,
+) -> Dict[str, object]:
+    """End-to-end sweep wall time: serial vs process on the A5 grid.
+
+    Also a determinism gate: the two backends' records must be equal,
+    or the measurement itself raises.
+    """
+    from repro.analysis.experiments import filter_ablation_grid
+
+    grid = filter_ablation_grid(transactions)
+    start = time.perf_counter()
+    serial_records = SweepRunner(backend="serial").run(grid)
+    serial_wall = time.perf_counter() - start
+    start = time.perf_counter()
+    process_records = SweepRunner(backend="process", workers=workers).run(grid)
+    process_wall = time.perf_counter() - start
+    if serial_records != process_records:
+        raise SimulationError(
+            "process-backend sweep records diverged from the serial backend"
+        )
+    return {
+        "points": len(grid),
+        "transactions": transactions,
+        "workers": workers if workers is not None else default_workers(len(grid)),
+        "serial_wall_seconds": round(serial_wall, 6),
+        "process_wall_seconds": round(process_wall, 6),
+        "process_over_serial": round(serial_wall / process_wall, 3),
+    }
+
+
 def run_speed_suite(
-    repeats_tlm: int = 5, repeats_rtl: int = 3
+    repeats_tlm: int = 5,
+    repeats_rtl: int = 3,
+    include_trafficgen: bool = True,
+    include_sweep: bool = True,
 ) -> Dict[str, object]:
     """Run the §4 speed suite; returns one measurement block.
 
     Best-of-N timing per model (platform construction untimed), exactly
-    the methodology of :mod:`repro.analysis.speed`.
+    the methodology of :mod:`repro.analysis.speed`.  The block also
+    carries the traffic-generation items/s and serial-vs-process sweep
+    wall-time entries unless switched off.
     """
     tlm = measure_tlm(table1_pattern_a(TLM_TRANSACTIONS), repeats=repeats_tlm)
     single = measure_tlm(
@@ -92,7 +175,7 @@ def run_speed_suite(
         if rtl.kcycles_per_sec > 0
         else float("inf")
     )
-    return {
+    block: Dict[str, object] = {
         "git_rev": git_revision(),
         "python": sys.version.split()[0],
         "host": platform.node() or "unknown",
@@ -104,6 +187,11 @@ def run_speed_suite(
         },
         "tlm_over_rtl_speedup": round(speedup, 2),
     }
+    if include_trafficgen:
+        block["trafficgen"] = run_trafficgen_suite()
+    if include_sweep:
+        block["sweep"] = run_sweep_suite()
+    return block
 
 
 def speedups_vs(block: Dict[str, object], reference: Dict[str, object]) -> Dict[str, float]:
@@ -169,17 +257,31 @@ def compare_reports(
 
     Returns human-readable failure strings; empty means every model is
     within *threshold* of the committed baseline (or faster).  A
-    baseline recorded on a different host is not gradable — absolute
-    Kcycles/s do not transfer between machines — so it produces no
-    failures; callers should check :func:`same_host` and prompt for a
-    local baseline instead.
+    baseline recorded on a different host is not gradable on absolute
+    Kcycles/s — they do not transfer between machines — so those
+    produce no failures; callers should check :func:`same_host` and
+    prompt for a local baseline instead.  Simulated *cycle counts* are
+    pure determinism (seeded workloads), so they are gated on every
+    host: a fresh run whose cycle counts drift from the committed
+    baseline fails regardless of machine.
     """
-    if not same_host(fresh, baseline):
-        return []
     failures: List[str] = []
     base_block = baseline.get("current", baseline)
     base_models = base_block.get("models", {})  # type: ignore[union-attr]
     fresh_models = fresh["models"]  # type: ignore[index]
+    for model in MODELS:
+        base = base_models.get(model)
+        mine = fresh_models.get(model)  # type: ignore[union-attr]
+        if not base or not mine:
+            continue
+        if mine["simulated_cycles"] != base["simulated_cycles"]:
+            failures.append(
+                f"{model}: simulated {mine['simulated_cycles']} cycles but "
+                f"baseline recorded {base['simulated_cycles']} "
+                f"(rev {base_block.get('git_rev', '?')}) — determinism drift"
+            )
+    if not same_host(fresh, baseline):
+        return failures
     for model in MODELS:
         base = base_models.get(model)
         mine = fresh_models.get(model)  # type: ignore[union-attr]
@@ -209,4 +311,22 @@ def render_block(block: Dict[str, object], title: str = "speed") -> str:
                 f"{sample['wall_seconds']:.4f}s)"
             )
     lines.append(f"  TLM/RTL speedup: {block.get('tlm_over_rtl_speedup', '?')}x")
+    trafficgen = block.get("trafficgen")
+    if trafficgen:
+        for mode, sample in trafficgen["modes"].items():  # type: ignore[index]
+            lines.append(
+                f"  trafficgen/{mode:<9} {sample['items_per_sec']:>12,.0f} items/s"
+            )
+        lines.append(
+            f"  trafficgen stream/compat: "
+            f"{trafficgen['stream_over_compat']}x"  # type: ignore[index]
+        )
+    sweep = block.get("sweep")
+    if sweep:
+        lines.append(
+            f"  sweep ({sweep['points']} pts, {sweep['workers']} workers): "  # type: ignore[index]
+            f"serial {sweep['serial_wall_seconds']:.3f}s, "  # type: ignore[index]
+            f"process {sweep['process_wall_seconds']:.3f}s "  # type: ignore[index]
+            f"({sweep['process_over_serial']}x)"  # type: ignore[index]
+        )
     return "\n".join(lines)

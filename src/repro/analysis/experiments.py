@@ -7,22 +7,28 @@ deterministic given the workload seeds.
 
 Every ablation follows one shape: describe the system once as a
 :class:`~repro.system.SystemSpec` (via the scenario registry), expand
-it along exactly one axis with :func:`repro.system.sweep`, and run the
-resulting grid — no per-experiment ``replace(config, ...)`` cloning.
-The QoS comparison sweeps the *engine* axis (plain AHB vs AHB+ on the
-same spec), which is the paper's portability claim as an experiment.
+it along exactly one axis with :func:`repro.system.sweep`, and hand the
+grid to a :class:`~repro.exec.SweepRunner` — no per-experiment run
+loops.  Extra per-point measurements (write latencies, bank counters,
+deadline stats) come from module-level *collectors*, which keeps every
+ablation shardable over the process backend (``backend="process"``)
+with records guaranteed identical to a serial run.  The QoS comparison
+sweeps the *engine* axis (plain AHB vs AHB+ on the same spec), which is
+the paper's portability claim as an experiment.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.analysis.accuracy import Table1Result, run_table1
 from repro.analysis.speed import SpeedReport, speed_comparison
 from repro.core.config import SWITCHABLE_FILTERS
+from repro.exec import SweepRunner
+from repro.system.platform import platform_agents
 from repro.system.scenarios import paper_topology
-from repro.system.spec import sweep
+from repro.system.spec import SweepPoint, sweep
 from repro.traffic.workloads import (
     bank_striped_workload,
     saturating_workload,
@@ -30,6 +36,11 @@ from repro.traffic.workloads import (
     table1_workloads,
     write_heavy_workload,
 )
+
+
+def _runner(backend: str, runner: Optional[SweepRunner]) -> SweepRunner:
+    """The runner an experiment uses (explicit runner wins)."""
+    return runner if runner is not None else SweepRunner(backend=backend)
 
 
 def experiment_table1(transactions: int = 150) -> Table1Result:
@@ -62,8 +73,29 @@ class WriteBufferPoint:
     mean_write_latency: float
 
 
+def _collect_write_latency(
+    point: SweepPoint, platform, result
+) -> Dict[str, object]:
+    """Mean write latency across all masters (collector, picklable)."""
+    writes = [
+        txn
+        for agent in platform_agents(platform)
+        for txn in agent.completed
+        if txn.is_write
+    ]
+    mean = (
+        sum(txn.finished_at - txn.issued_at for txn in writes) / len(writes)
+        if writes
+        else 0.0
+    )
+    return {"mean_write_latency": mean}
+
+
 def experiment_write_buffer(
-    transactions: int = 200, depths: Tuple[int, ...] = (1, 2, 4, 8)
+    transactions: int = 200,
+    depths: Tuple[int, ...] = (1, 2, 4, 8),
+    backend: str = "serial",
+    runner: Optional[SweepRunner] = None,
 ) -> List[WriteBufferPoint]:
     """Write-buffer off + depth sweep on a write-heavy workload."""
     spec = paper_topology(workload=write_heavy_workload(transactions))
@@ -76,31 +108,21 @@ def experiment_write_buffer(
         values=depths,
         labels=tuple(f"depth{d}" for d in depths),
     )
-    points: List[WriteBufferPoint] = []
-    for point in grid:
-        platform = point.build()
-        result = platform.run()
-        writes = [
-            txn
-            for master in platform.masters
-            for txn in master.completed
-            if txn.is_write
-        ]
-        mean_latency = (
-            sum(txn.finished_at - txn.issued_at for txn in writes) / len(writes)
-            if writes
-            else 0.0
+    records = _runner(backend, runner).run(grid, collect=_collect_write_latency)
+    return [
+        WriteBufferPoint(
+            label=record.label,
+            depth=(
+                0
+                if record.axis == "write_buffer_enabled"
+                else int(record.value)
+            ),
+            cycles=record.cycles,
+            absorbed=record.absorbed_writes,
+            mean_write_latency=record.metric("mean_write_latency"),  # type: ignore[arg-type]
         )
-        points.append(
-            WriteBufferPoint(
-                label=point.label,
-                depth=0 if point.axis == "write_buffer_enabled" else int(point.value),  # type: ignore[arg-type]
-                cycles=result.cycles,
-                absorbed=result.absorbed_writes,
-                mean_write_latency=mean_latency,
-            )
-        )
-    return points
+        for record in records
+    ]
 
 
 # -- ablation A3: bank interleaving via the BI --------------------------------------
@@ -117,28 +139,40 @@ class InterleavingPoint:
     row_hit_rate: float
 
 
-def experiment_bank_interleaving(transactions: int = 200) -> List[InterleavingPoint]:
+def _collect_bank_stats(
+    point: SweepPoint, platform, result
+) -> Dict[str, object]:
+    """DDRC bank-management counters (collector, picklable)."""
+    return {
+        "prepared_banks": platform.ddrc.prepared_banks,
+        "row_hit_rate": platform.ddrc.row_hit_rate(),
+    }
+
+
+def experiment_bank_interleaving(
+    transactions: int = 200,
+    backend: str = "serial",
+    runner: Optional[SweepRunner] = None,
+) -> List[InterleavingPoint]:
     """BI on vs off: throughput and DDR utilization on striped traffic."""
     spec = paper_topology(workload=bank_striped_workload(transactions))
-    points = []
-    for point in sweep(
+    grid = sweep(
         spec,
         axis="bus_interface_enabled",
         values=(True, False),
         labels=("bi-on", "bi-off"),
-    ):
-        platform = point.build()
-        result = platform.run()
-        points.append(
-            InterleavingPoint(
-                label=point.label,
-                cycles=result.cycles,
-                utilization=result.utilization,
-                prepared_banks=platform.ddrc.prepared_banks,
-                row_hit_rate=platform.ddrc.row_hit_rate(),
-            )
+    )
+    records = _runner(backend, runner).run(grid, collect=_collect_bank_stats)
+    return [
+        InterleavingPoint(
+            label=record.label,
+            cycles=record.cycles,
+            utilization=record.utilization,
+            prepared_banks=record.metric("prepared_banks"),  # type: ignore[arg-type]
+            row_hit_rate=record.metric("row_hit_rate"),  # type: ignore[arg-type]
         )
-    return points
+        for record in records
+    ]
 
 
 # -- ablation A4: QoS guarantee (plain AHB vs AHB+) -----------------------------------
@@ -161,33 +195,54 @@ class QosPoint:
         return self.deadline_misses / self.rt_transactions
 
 
-def _deadline_stats(masters, rt_index: int) -> Tuple[int, int, int]:
-    rt_txns = masters[rt_index].completed
-    misses = sum(1 for txn in rt_txns if txn.met_deadline is False)
-    worst = max((txn.finished_at - txn.issued_at) for txn in rt_txns)
-    return len(rt_txns), misses, worst
+def _collect_deadline_stats(
+    point: SweepPoint, platform, result
+) -> Dict[str, object]:
+    """RT master deadline outcomes (collector, picklable).
+
+    The RT master index comes from the point's own workload, so the
+    collector is self-contained and works inside pool workers.
+    """
+    rt_index = next(iter(point.spec.workload.qos_map()))
+    rt_txns = platform_agents(platform)[rt_index].completed
+    return {
+        "rt_transactions": len(rt_txns),
+        "rt_misses": sum(
+            1 for txn in rt_txns if txn.met_deadline is False
+        ),
+        "rt_worst_latency": max(
+            (txn.finished_at - txn.issued_at) for txn in rt_txns
+        ),
+    }
 
 
-def experiment_qos(transactions: int = 150) -> List[QosPoint]:
+def experiment_qos(
+    transactions: int = 150,
+    backend: str = "serial",
+    runner: Optional[SweepRunner] = None,
+) -> List[QosPoint]:
     """Paper motivation: AMBA2.0 cannot guarantee QoS; AHB+ can.
 
     One spec, two engines — the sweep axis is the abstraction itself.
     """
-    workload = saturating_workload(transactions)
-    rt_index = next(iter(workload.qos_map()))
-    spec = paper_topology(workload=workload)
-    points = []
-    for point in sweep(
+    spec = paper_topology(workload=saturating_workload(transactions))
+    grid = sweep(
         spec,
         axis="engine",
         values=("plain", "tlm"),
         labels=("plain-ahb", "ahb+"),
-    ):
-        platform = point.build()
-        result = platform.run()
-        count, misses, worst = _deadline_stats(platform.masters, rt_index)
-        points.append(QosPoint(point.label, result.cycles, count, misses, worst))
-    return points
+    )
+    records = _runner(backend, runner).run(grid, collect=_collect_deadline_stats)
+    return [
+        QosPoint(
+            label=record.label,
+            cycles=record.cycles,
+            rt_transactions=record.metric("rt_transactions"),  # type: ignore[arg-type]
+            deadline_misses=record.metric("rt_misses"),  # type: ignore[arg-type]
+            worst_latency=record.metric("rt_worst_latency"),  # type: ignore[arg-type]
+        )
+        for record in records
+    ]
 
 
 # -- ablation A5: arbitration filters ----------------------------------------------------
@@ -203,12 +258,11 @@ class FilterPoint:
     utilization: float
 
 
-def experiment_filters(transactions: int = 120) -> List[FilterPoint]:
-    """Disable each switchable filter in turn under RT saturation.
+def filter_ablation_grid(transactions: int = 120) -> List[SweepPoint]:
+    """The A5 grid: each switchable filter disabled in turn.
 
-    The saturating workload (RT stream at lowest priority, three greedy
-    DMA movers) is where arbitration decisions matter: disabling the
-    urgency or real-time filters costs stream deadlines.
+    Shared with the benchmark layer, which wall-clocks this exact grid
+    serial vs process for the BENCH sweep entry.
     """
     spec = paper_topology(workload=saturating_workload(transactions // 2))
     cases: List[Tuple[str, Tuple[str, ...]]] = [("none", ())]
@@ -216,21 +270,32 @@ def experiment_filters(transactions: int = 120) -> List[FilterPoint]:
     # The urgency and real-time filters back each other up; disabling
     # both removes the QoS guarantee entirely.
     cases.append(("urgency+real-time", ("urgency", "real-time")))
-    grid = sweep(
+    return sweep(
         spec,
         axis="disabled_filters",
         values=tuple(disabled for _label, disabled in cases),
         labels=tuple(label for label, _disabled in cases),
     )
-    points = []
-    for point in grid:
-        result = point.build().run()
-        points.append(
-            FilterPoint(
-                disabled=point.label,
-                cycles=result.cycles,
-                rt_misses=result.rt_deadline_misses,
-                utilization=result.utilization,
-            )
+
+
+def experiment_filters(
+    transactions: int = 120,
+    backend: str = "serial",
+    runner: Optional[SweepRunner] = None,
+) -> List[FilterPoint]:
+    """Disable each switchable filter in turn under RT saturation.
+
+    The saturating workload (RT stream at lowest priority, three greedy
+    DMA movers) is where arbitration decisions matter: disabling the
+    urgency or real-time filters costs stream deadlines.
+    """
+    records = _runner(backend, runner).run(filter_ablation_grid(transactions))
+    return [
+        FilterPoint(
+            disabled=record.label,
+            cycles=record.cycles,
+            rt_misses=record.rt_deadline_misses,
+            utilization=record.utilization,
         )
-    return points
+        for record in records
+    ]

@@ -5,6 +5,12 @@ The paper reports 0.47 Kcycles/s for the pin-accurate RTL model,
 with a single master.  Absolute numbers depend on the host and the
 implementation language; what this module reproduces is the *shape*:
 Kcycles/s per model, the TLM/RTL ratio, and the single-master uplift.
+
+Measurement runs on the :class:`~repro.exec.SweepRunner` serial backend
+(in-process, so wall clocks see no pool overhead) with ``repeats`` for
+best-of-N timing: every repeat rebuilds the platform untimed and times
+only ``run()`` — the exact methodology the hand-rolled loops used
+before the runner layer absorbed them.
 """
 
 from __future__ import annotations
@@ -14,9 +20,11 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.config import AhbPlusConfig
+from repro.exec import SweepRunner
 from repro.kernel.simulator import Simulator
 from repro.system.platform import PlatformBuilder
 from repro.system.scenarios import paper_topology
+from repro.system.spec import sweep
 from repro.traffic.workloads import Workload
 
 
@@ -67,16 +75,26 @@ def _timed(label: str, runner: Callable[[], int]) -> SpeedSample:
     return SpeedSample(model=label, simulated_cycles=cycles, wall_seconds=elapsed)
 
 
-def _best_of(label: str, factory: Callable[[], Callable[[], int]], repeats: int) -> SpeedSample:
-    """Best-of-N timing: platforms are rebuilt untimed, runs are timed."""
-    best: Optional[SpeedSample] = None
-    for _ in range(max(repeats, 1)):
-        runner = factory()
-        sample = _timed(label, runner)
-        if best is None or sample.wall_seconds < best.wall_seconds:
-            best = sample
-    assert best is not None
-    return best
+def _measure(
+    label: str,
+    level: str,
+    workload: Workload,
+    config: Optional[AhbPlusConfig],
+    repeats: int,
+) -> SpeedSample:
+    """Best-of-N wall-clock one engine level via the serial runner."""
+    grid = sweep(
+        paper_topology(workload=workload, config=config),
+        axis="engine",
+        values=(level,),
+        labels=(label,),
+    )
+    [record] = SweepRunner(backend="serial", repeats=max(repeats, 1)).run(grid)
+    return SpeedSample(
+        model=label,
+        simulated_cycles=record.cycles,
+        wall_seconds=record.wall_seconds,
+    )
 
 
 def measure_rtl(
@@ -85,19 +103,7 @@ def measure_rtl(
     repeats: int = 1,
 ) -> SpeedSample:
     """Wall-clock the pin-accurate model on *workload*."""
-    return _best_of("rtl", lambda: _rtl_runner(workload, config), repeats)
-
-
-def _rtl_runner(workload: Workload, config: Optional[AhbPlusConfig]):
-    builder = PlatformBuilder(paper_topology(workload=workload, config=config))
-    platform = builder.build("rtl")
-    return lambda: platform.run().cycles
-
-
-def _tlm_runner(workload: Workload, config: Optional[AhbPlusConfig], engine: str):
-    builder = PlatformBuilder(paper_topology(workload=workload, config=config))
-    platform = builder.build("tlm" if engine == "method" else "tlm-threaded")
-    return lambda: platform.run().cycles
+    return _measure("rtl", "rtl", workload, config, repeats)
 
 
 def measure_tlm(
@@ -107,9 +113,8 @@ def measure_tlm(
     repeats: int = 3,
 ) -> SpeedSample:
     """Wall-clock a TLM engine on *workload* (best of *repeats* runs)."""
-    return _best_of(
-        f"tlm-{engine}", lambda: _tlm_runner(workload, config, engine), repeats
-    )
+    level = "tlm" if engine == "method" else "tlm-threaded"
+    return _measure(f"tlm-{engine}", level, workload, config, repeats)
 
 
 def speed_comparison(
@@ -147,7 +152,8 @@ def kernel_comparison(workload: Workload, cycles: int = 5000) -> List[SpeedSampl
     here execute the identical RTL platform for the same cycle count;
     the event-driven variant re-schedules every cycle through the
     discrete-event queue, paying heap traffic per cycle, while the
-    cycle engine just sweeps.
+    cycle engine just sweeps.  (This is a kernel microbenchmark, not a
+    sweep — it stays on the direct builder API.)
     """
     builder = PlatformBuilder(paper_topology(workload=workload))
     native = builder.build("rtl")

@@ -17,8 +17,9 @@ spec layer existed.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 from repro.ahb.bus import BusRunResult, PlainAhbBus, TransactionObserver
 from repro.ahb.master import TlmMaster
@@ -29,7 +30,11 @@ from repro.core.threaded import ThreadedAhbPlusBus
 from repro.ddr.controller import DdrControllerTlm
 from repro.ddr.memory import MemoryModel
 from repro.errors import ConfigError
-from repro.traffic.workloads import Workload
+
+if TYPE_CHECKING:  # traffic.workloads itself imports repro.core.qos —
+    # a runtime import here would close an import cycle whenever
+    # repro.traffic loads first, so Workload stays annotation-only.
+    from repro.traffic.workloads import Workload
 
 EngineBus = Union[AhbPlusBusTlm, ThreadedAhbPlusBus]
 
@@ -152,6 +157,13 @@ def build_tlm_platform(
     """
     from repro.system.platform import PlatformBuilder
 
+    warnings.warn(
+        "build_tlm_platform is deprecated; describe the system as a "
+        "repro.system.SystemSpec and elaborate it via "
+        "PlatformBuilder(spec).build('tlm') / .build('tlm-threaded')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if engine == "method":
         level = "tlm"
     elif engine == "thread":
@@ -179,6 +191,13 @@ def build_plain_platform(
     """
     from repro.system.platform import PlatformBuilder
 
+    warnings.warn(
+        "build_plain_platform is deprecated; describe the system as a "
+        "repro.system.SystemSpec and elaborate it via "
+        "PlatformBuilder(spec).build('plain')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     platform = PlatformBuilder(_paper_spec(workload, config)).build("plain")
     assert isinstance(platform, PlainPlatform)
     return platform

@@ -1,10 +1,19 @@
 """Backing store shared by every memory model.
 
-A sparse byte-granular store: only written locations consume memory, so
-gigabyte address spaces cost nothing until touched.  Both the RTL and
-TLM DDR controllers write through to a :class:`MemoryModel`, and the
-accuracy harness compares final images with :meth:`equal_contents` to
-prove functional equivalence of the two abstraction levels.
+A sparse store: only written locations consume memory, so gigabyte
+address spaces cost nothing until touched.  Both the RTL and TLM DDR
+controllers write through to a :class:`MemoryModel`, and the accuracy
+harness compares final images with :meth:`equal_contents` to prove
+functional equivalence of the two abstraction levels.
+
+The hot path is word-granular: a 32-bit bus moves aligned 4-byte beats,
+so those hit a word-keyed dict (one dict operation per beat instead of
+four).  Unaligned, sub-word and wide accesses fall back to a
+byte-granular dict; the two stores never overlap — a byte write spills
+any covering word into bytes first, a word write evicts any covered
+bytes — so reads merge them without ambiguity and observable semantics
+(little-endian values, zero-for-unwritten, touched-byte accounting)
+match the original byte-only store exactly.
 """
 
 from __future__ import annotations
@@ -13,12 +22,18 @@ from typing import Dict, Iterator, Tuple
 
 from repro.errors import MemoryError_
 
+#: Fast-path access width in bytes (one 32-bit bus beat).
+_WORD = 4
+
 
 class MemoryModel:
-    """Sparse little-endian byte store."""
+    """Sparse little-endian store with a word-granular fast path."""
 
     def __init__(self, name: str = "mem") -> None:
         self.name = name
+        #: Aligned 4-byte values keyed by ``addr // 4``.
+        self._words: Dict[int, int] = {}
+        #: Byte fallback for unaligned/sub-word/wide residue.
         self._bytes: Dict[int, int] = {}
         self.read_ops = 0
         self.write_ops = 0
@@ -33,46 +48,98 @@ class MemoryModel:
             raise MemoryError_(
                 f"{self.name}: value {value:#x} wider than {size_bytes} bytes"
             )
-        store = self._bytes
-        for i in range(size_bytes):
-            store[addr + i] = (value >> (8 * i)) & 0xFF
+        if size_bytes == _WORD and addr & 3 == 0:
+            self._words[addr >> 2] = value
+            if self._bytes:  # evict any byte residue this word covers
+                pop = self._bytes.pop
+                for i in range(_WORD):
+                    pop(addr + i, None)
+        else:
+            self._spill_words(addr, size_bytes)
+            store = self._bytes
+            for i in range(size_bytes):
+                store[addr + i] = (value >> (8 * i)) & 0xFF
         self.write_ops += 1
 
     def read(self, addr: int, size_bytes: int) -> int:
         """Load a little-endian value; unwritten bytes read as zero."""
         if addr < 0:
             raise MemoryError_(f"{self.name}: negative address {addr:#x}")
+        self.read_ops += 1
+        words = self._words
         store = self._bytes
+        if (addr + size_bytes - 1) >> 2 == addr >> 2:
+            # Access contained in one word: the spill/evict discipline
+            # keeps the stores disjoint per word, so exactly one of the
+            # two holds this range — one word probe, byte fallback.
+            word = words.get(addr >> 2)
+            if word is not None:
+                return (word >> (8 * (addr & 3))) & ((1 << (8 * size_bytes)) - 1)
+            if not store:
+                return 0
+            value = 0
+            for i in range(size_bytes):
+                value |= store.get(addr + i, 0) << (8 * i)
+            return value
+        # Unaligned or wide access spanning words: merge both stores.
         value = 0
         for i in range(size_bytes):
-            value |= store.get(addr + i, 0) << (8 * i)
-        self.read_ops += 1
+            byte_addr = addr + i
+            word = words.get(byte_addr >> 2)
+            if word is not None:
+                value |= ((word >> (8 * (byte_addr & 3))) & 0xFF) << (8 * i)
+            else:
+                value |= store.get(byte_addr, 0) << (8 * i)
         return value
+
+    def _spill_words(self, addr: int, size_bytes: int) -> None:
+        """Explode words overlapping ``[addr, addr+size)`` into bytes."""
+        words = self._words
+        if not words:
+            return
+        store = self._bytes
+        for word_index in range(addr >> 2, ((addr + size_bytes - 1) >> 2) + 1):
+            word = words.pop(word_index, None)
+            if word is not None:
+                base = word_index << 2
+                for i in range(_WORD):
+                    store[base + i] = (word >> (8 * i)) & 0xFF
+
+    # -- whole-image views ------------------------------------------------------
+
+    def _byte_image(self) -> Dict[int, int]:
+        """Every stored byte as one flat ``{addr: byte}`` mapping."""
+        image = dict(self._bytes)
+        for word_index, word in self._words.items():
+            base = word_index << 2
+            for i in range(_WORD):
+                image[base + i] = (word >> (8 * i)) & 0xFF
+        return image
 
     def touched_bytes(self) -> int:
         """Number of distinct bytes ever written."""
-        return len(self._bytes)
+        return len(self._bytes) + _WORD * len(self._words)
 
     def items(self) -> Iterator[Tuple[int, int]]:
         """Iterate ``(address, byte)`` pairs in address order."""
-        return iter(sorted(self._bytes.items()))
+        return iter(sorted(self._byte_image().items()))
 
     def equal_contents(self, other: "MemoryModel") -> bool:
         """True when both stores hold identical non-zero images.
 
-        Zero bytes equal unwritten bytes, matching read semantics.
+        Zero bytes equal unwritten bytes, matching read semantics — and
+        making the comparison independent of how each store shards its
+        content between words and bytes.
         """
-        keys = set(self._bytes) | set(other._bytes)
-        return all(
-            self._bytes.get(k, 0) == other._bytes.get(k, 0) for k in keys
-        )
+        mine, theirs = self._byte_image(), other._byte_image()
+        keys = set(mine) | set(theirs)
+        return all(mine.get(k, 0) == theirs.get(k, 0) for k in keys)
 
     def first_difference(self, other: "MemoryModel") -> Tuple[int, int, int]:
         """First (addr, mine, theirs) mismatch; raises if images match."""
-        keys = sorted(set(self._bytes) | set(other._bytes))
-        for k in keys:
-            mine = self._bytes.get(k, 0)
-            theirs = other._bytes.get(k, 0)
-            if mine != theirs:
-                return k, mine, theirs
+        mine, theirs = self._byte_image(), other._byte_image()
+        for k in sorted(set(mine) | set(theirs)):
+            a, b = mine.get(k, 0), theirs.get(k, 0)
+            if a != b:
+                return k, a, b
         raise MemoryError_("memory images are identical")

@@ -1,0 +1,151 @@
+"""The mergeable result row every experiment emits.
+
+A :class:`RunRecord` is one ``(sweep point, engine) → counters`` row:
+plain frozen data, picklable (process-backend workers ship them back
+over the pool) and JSON round-trippable (experiment tables persist
+them).  Equality deliberately ignores ``wall_seconds`` — two backends
+that simulate the same point must produce *equal* records even though
+their wall clocks differ, which is exactly the property the
+serial-vs-process determinism tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigError
+
+#: Extra per-point metrics: sorted ``(name, value)`` pairs so the record
+#: stays hashable and order-independent.
+MetricItems = Tuple[Tuple[str, object], ...]
+
+
+def _freeze_value(value: object) -> object:
+    """Recursively turn lists/tuples into tuples and dicts into sorted
+    item tuples.
+
+    JSON serialisation lowers tuples to lists; freezing on the way in
+    makes ``from_dict(json.loads(json.dumps(r.to_dict())))`` compare
+    equal to the original record and keeps records hashable whatever
+    nested shape a collector returned.
+    """
+    if isinstance(value, Mapping):
+        return tuple(
+            (key, _freeze_value(item)) for key, item in sorted(value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(item) for item in value)
+    return value
+
+
+def _freeze_metrics(metrics: Optional[Mapping[str, object]]) -> MetricItems:
+    if not metrics:
+        return ()
+    return tuple(
+        (key, _freeze_value(value)) for key, value in sorted(metrics.items())
+    )
+
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One experiment row: identity, counters, optional extra metrics."""
+
+    # -- identity: which grid point produced this row -------------------------
+    label: str
+    axis: str
+    value: str  #: ``repr()`` of the swept value (JSON-safe, stable)
+    engine: str
+    system: str  #: the spec's name
+    workload: str
+    seed: int
+    # -- counters (shared across all engines) ---------------------------------
+    cycles: int
+    transactions: int
+    bytes_transferred: int
+    busy_cycles: int
+    # -- AHB+-specific counters (zero on the plain engine) --------------------
+    absorbed_writes: int = 0
+    drained_writes: int = 0
+    rt_deadline_hits: int = 0
+    rt_deadline_misses: int = 0
+    #: Collector output (see ``SweepRunner.run(collect=...)``).
+    metrics: MetricItems = ()
+    #: Wall time of the (best) run — excluded from equality.
+    wall_seconds: float = field(compare=False, default=0.0)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of cycles the data bus carried a transfer."""
+        if self.cycles == 0:
+            return 0.0
+        return self.busy_cycles / self.cycles
+
+    def metric(self, name: str, default: object = _MISSING) -> object:
+        """Look up one collector metric by name."""
+        for key, value in self.metrics:
+            if key == name:
+                return value
+        if default is not _MISSING:
+            return default
+        raise ConfigError(
+            f"record {self.label!r} has no metric {name!r}; "
+            f"available: {[key for key, _v in self.metrics]}"
+        )
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_run(
+        cls,
+        point,
+        result,
+        wall_seconds: float = 0.0,
+        metrics: Optional[Mapping[str, object]] = None,
+    ) -> "RunRecord":
+        """Build a record from a sweep point and its run result.
+
+        Works for every engine: AHB+-specific counters missing from a
+        plain :class:`~repro.ahb.bus.BusRunResult` default to zero.
+        """
+        spec = point.spec
+        return cls(
+            label=point.label,
+            axis=point.axis,
+            value=repr(point.value),
+            engine=point.engine,
+            system=spec.name,
+            workload=spec.workload.name,
+            seed=spec.workload.seed,
+            cycles=result.cycles,
+            transactions=result.transactions,
+            bytes_transferred=result.bytes_transferred,
+            busy_cycles=result.busy_cycles,
+            absorbed_writes=getattr(result, "absorbed_writes", 0),
+            drained_writes=getattr(result, "drained_writes", 0),
+            rt_deadline_hits=getattr(result, "rt_deadline_hits", 0),
+            rt_deadline_misses=getattr(result, "rt_deadline_misses", 0),
+            metrics=_freeze_metrics(metrics),
+            wall_seconds=wall_seconds,
+        )
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready mapping (metrics become a plain dict)."""
+        data = {f.name: getattr(self, f.name) for f in fields(self)}
+        data["metrics"] = dict(self.metrics)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunRecord":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(f"unknown RunRecord fields {sorted(unknown)}")
+        kwargs = dict(data)
+        kwargs["metrics"] = _freeze_metrics(kwargs.get("metrics"))  # type: ignore[arg-type]
+        return cls(**kwargs)  # type: ignore[arg-type]

@@ -14,8 +14,9 @@ API with bit-for-bit identical output; new code should elaborate a
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.ahb.bus import TransactionObserver
 from repro.ahb.master import TlmMaster
@@ -33,7 +34,9 @@ from repro.rtl.master import MasterRtl
 from repro.rtl.signals import BiSignals, SharedBusSignals
 from repro.rtl.slave import StaticSlaveRtl
 from repro.rtl.write_buffer import BufferMasterRtl
-from repro.traffic.workloads import Workload
+
+if TYPE_CHECKING:  # annotation-only: avoids the traffic↔core import cycle
+    from repro.traffic.workloads import Workload
 
 
 @dataclass
@@ -180,6 +183,13 @@ def build_rtl_platform(
     from repro.core.platform import _paper_spec
     from repro.system.platform import PlatformBuilder
 
+    warnings.warn(
+        "build_rtl_platform is deprecated; describe the system as a "
+        "repro.system.SystemSpec and elaborate it via "
+        "PlatformBuilder(spec).build('rtl')",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     platform = PlatformBuilder(_paper_spec(workload, config)).build(
         "rtl", trace=trace, full_sweep=full_sweep
     )

@@ -18,9 +18,11 @@ from repro.system.platform import (
     Platform,
     PlatformBuilder,
     build_platform,
+    platform_agents,
 )
 from repro.system.scenarios import (
     SCENARIOS,
+    mpeg_bursty,
     multi_slave_soc,
     paper_topology,
     scenario,
@@ -49,8 +51,10 @@ __all__ = [
     "SweepPoint",
     "SystemSpec",
     "build_platform",
+    "mpeg_bursty",
     "multi_slave_soc",
     "paper_topology",
+    "platform_agents",
     "scenario",
     "scenario_names",
     "scratchpad_offload",

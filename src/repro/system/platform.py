@@ -77,6 +77,16 @@ class Platform(Protocol):
 AnyPlatform = Union[TlmPlatform, PlainPlatform, RtlPlatform]
 
 
+def platform_agents(platform) -> List:
+    """The traffic agents of any engine's platform.
+
+    The TLM/plain platforms expose them as ``masters``; the RTL
+    platform's ``masters`` are FSMs, its traffic agents live on
+    ``agents``.  Analysis collectors use this to stay engine-agnostic.
+    """
+    return getattr(platform, "agents", None) or platform.masters
+
+
 def _build_tlm_slave(spec: SlaveSpec, cfg: AhbPlusConfig) -> TlmSlave:
     """Instantiate the transaction-level model a slave spec names."""
     if spec.kind == "ddr":

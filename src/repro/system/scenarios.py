@@ -19,7 +19,8 @@ from typing import Callable, Dict, Optional, Tuple
 from repro.core.config import AhbPlusConfig
 from repro.errors import ConfigError
 from repro.system.spec import BusSpec, SlaveSpec, SystemSpec
-from repro.traffic.patterns import CPU, DMA, WRITER, TrafficPattern
+from repro.core.qos import QosSetting
+from repro.traffic.patterns import CPU, DMA, MPEG, WRITER, TrafficPattern
 from repro.traffic.workloads import (
     MasterSpec,
     Workload,
@@ -49,6 +50,56 @@ def paper_topology(
     bound = workload if workload is not None else table1_pattern_a(transactions)
     return SystemSpec(
         name=f"paper:{bound.name}", workload=bound, bus=BusSpec(config=config)
+    )
+
+
+# -- bursty MPEG-like arrivals ----------------------------------------------------
+
+
+def mpeg_bursty(
+    transactions: int = 180,
+    seed: int = 59,
+    config: Optional[AhbPlusConfig] = None,
+) -> SystemSpec:
+    """Bursty MPEG-like arrivals on the paper topology.
+
+    Two decoder streams issue frame-sized clumps of long bursts
+    separated by inter-frame gaps (the :data:`~repro.traffic.patterns.
+    MPEG` pattern's ``burst_gap``) while a CPU and a writer interfere —
+    the bursty arrival process from the scenario backlog.  The workload
+    generates in ``stream`` mode, so the think-time draws (including
+    the gap draws) batch through the new stream generator; both
+    abstraction levels replay the identical stream, so the scenario is
+    runnable at TLM and RTL alike.
+    """
+    window = 1 << 20
+    specs = (
+        MasterSpec(
+            "mpeg0",
+            replace(MPEG, base_addr=0, addr_span=window),
+            transactions,
+            QosSetting(real_time=True, objective_cycles=220),
+        ),
+        MasterSpec(
+            "mpeg1",
+            replace(MPEG, base_addr=window, addr_span=window),
+            transactions,
+            QosSetting(real_time=True, objective_cycles=220),
+        ),
+        MasterSpec(
+            "cpu0",
+            replace(CPU, base_addr=2 * window, addr_span=window),
+            transactions,
+        ),
+        MasterSpec(
+            "writer0",
+            replace(WRITER, base_addr=3 * window, addr_span=window),
+            transactions,
+        ),
+    )
+    workload = Workload("mpeg_bursty", specs, seed, gen_mode="stream")
+    return SystemSpec(
+        name="mpeg_bursty", workload=workload, bus=BusSpec(config=config)
     )
 
 
@@ -210,6 +261,7 @@ SCENARIOS: Dict[str, Callable[..., SystemSpec]] = {
     "bank-striped": lambda transactions=300, **kw: paper_topology(
         workload=bank_striped_workload(transactions), **kw
     ),
+    "mpeg-bursty": mpeg_bursty,
     "multi-slave-soc": multi_slave_soc,
     "scratchpad-offload": scratchpad_offload,
 }

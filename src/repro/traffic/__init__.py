@@ -5,6 +5,7 @@ from repro.traffic.patterns import (
     AUDIO,
     CPU,
     DMA,
+    MPEG,
     NAMED_PATTERNS,
     RANDOM,
     VIDEO,
@@ -12,6 +13,7 @@ from repro.traffic.patterns import (
     TrafficPattern,
     named_pattern,
 )
+from repro.traffic.streams import GENERATION_MODES, TrafficStream
 from repro.traffic.trace import TraceRecord, TraceRecorder, load_trace, replay_items
 from repro.traffic.workloads import (
     MasterSpec,
@@ -30,12 +32,15 @@ __all__ = [
     "AUDIO",
     "CPU",
     "DMA",
+    "GENERATION_MODES",
+    "MPEG",
     "MasterSpec",
     "NAMED_PATTERNS",
     "RANDOM",
     "TraceRecord",
     "TraceRecorder",
     "TrafficPattern",
+    "TrafficStream",
     "VIDEO",
     "WRITER",
     "Workload",

@@ -1,36 +1,34 @@
 """Seeded traffic generation.
 
-Turns a :class:`~repro.traffic.patterns.TrafficPattern` into a concrete
-list of :class:`~repro.ahb.master.TrafficItem` objects.  Generation is a
-pure function of ``(pattern, master_index, count, seed)`` — the
+Turns a :class:`~repro.traffic.patterns.TrafficPattern` into concrete
+:class:`~repro.ahb.master.TrafficItem` objects.  Generation is a pure
+function of ``(pattern, master_index, count, seed, mode)`` — the
 identical stream feeds every abstraction level, which is what makes the
 paper's RTL-vs-TLM accuracy comparison meaningful.
 
+The actual draw machinery lives in :mod:`repro.traffic.streams`:
+
+* ``mode="compat"`` (default) replays the original per-item
+  ``random.Random`` sequence **bit-for-bit** — golden traces and the
+  committed BENCH cycle counts pin this stream; and
+* ``mode="stream"`` draws address/burst/think-time/data fields as bulk
+  arrays per chunk and materialises items lazily — the fast path for
+  large workloads and sharded sweeps.
+
 Bursts are clamped so they never cross an AHB 1 KB boundary and never
 leave the pattern's address window, keeping all generated traffic
-protocol-legal by construction.
+protocol-legal by construction in both modes.
 """
 
 from __future__ import annotations
 
-import random
-from typing import Iterator, List
+from typing import List
 
-from repro.ahb.burst import KB_BOUNDARY
 from repro.ahb.master import TrafficItem
-from repro.ahb.transaction import Transaction
-from repro.ahb.types import AccessKind
-from repro.errors import TrafficError
 from repro.traffic.patterns import TrafficPattern
+from repro.traffic.streams import GENERATION_MODES, TrafficStream
 
-_DATA_MASK = 0xFFFF_FFFF
-
-
-def _legal_beats(addr: int, beats: int, size_bytes: int, span_end: int) -> int:
-    """Clamp *beats* to the 1 KB rule and the address window."""
-    room_kb = (KB_BOUNDARY - addr % KB_BOUNDARY) // size_bytes
-    room_span = (span_end - addr) // size_bytes
-    return max(1, min(beats, room_kb, room_span))
+__all__ = ["GENERATION_MODES", "generate_items", "stream_items"]
 
 
 def generate_items(
@@ -38,89 +36,13 @@ def generate_items(
     master_index: int,
     count: int,
     seed: int,
+    mode: str = "compat",
 ) -> List[TrafficItem]:
-    """Generate *count* traffic items for one master.
+    """Generate *count* traffic items for one master, eagerly.
 
     The returned list is deterministic for a given argument tuple.
     """
-    if count < 0:
-        raise TrafficError(f"negative transaction count {count}")
-    rng = random.Random(f"{seed}/{pattern.name}/{master_index}")
-    items: List[TrafficItem] = []
-    burst_choices = [beats for beats, _w in pattern.burst_mix]
-    burst_weights = [weight for _b, weight in pattern.burst_mix]
-    span_end = pattern.base_addr + pattern.addr_span
-    next_sequential = pattern.base_addr
-    data_mask = (1 << (8 * pattern.size_bytes)) - 1
-    for index in range(count):
-        beats = rng.choices(burst_choices, weights=burst_weights)[0]
-        if rng.random() < pattern.sequential_fraction:
-            addr = next_sequential
-            if addr + beats * pattern.size_bytes > span_end:
-                addr = pattern.base_addr
-        else:
-            span_words = pattern.addr_span // pattern.size_bytes
-            addr = (
-                pattern.base_addr
-                + rng.randrange(span_words) * pattern.size_bytes
-            )
-        # Wrapping (cache-line-fill) bursts: the aligned wrap block must
-        # lie entirely inside the pattern's window.
-        wrapping = False
-        if beats in (4, 8, 16) and pattern.wrap_fraction > 0:
-            block = beats * pattern.size_bytes
-            block_base = (addr // block) * block
-            if (
-                block_base >= pattern.base_addr
-                and block_base + block <= span_end
-                and rng.random() < pattern.wrap_fraction
-            ):
-                wrapping = True
-        if not wrapping:
-            beats = _legal_beats(addr, beats, pattern.size_bytes, span_end)
-        advance = (
-            pattern.stride_bytes
-            if pattern.stride_bytes is not None
-            else beats * pattern.size_bytes
-        )
-        next_sequential = addr + advance
-        if next_sequential >= span_end:
-            next_sequential = pattern.base_addr
-        is_read = rng.random() < pattern.read_fraction
-        txn = Transaction(
-            master=master_index,
-            kind=AccessKind.READ if is_read else AccessKind.WRITE,
-            addr=addr,
-            beats=beats,
-            size_bytes=pattern.size_bytes,
-            wrapping=wrapping,
-            data=(
-                []
-                if is_read
-                else [rng.getrandbits(32) & data_mask for _ in range(beats)]
-            ),
-        )
-        think = rng.randint(*pattern.think_range)
-        not_before = None
-        absolute_deadline = None
-        if pattern.period is not None:
-            not_before = index * pattern.period
-            if pattern.deadline_offset is not None:
-                # Streaming deadlines follow the frame schedule, not the
-                # (possibly starved) issue instant.
-                absolute_deadline = not_before + pattern.deadline_offset
-        items.append(
-            TrafficItem(
-                txn=txn,
-                think_cycles=think,
-                not_before=not_before,
-                deadline_offset=(
-                    None if absolute_deadline is not None else pattern.deadline_offset
-                ),
-                absolute_deadline=absolute_deadline,
-            )
-        )
-    return items
+    return TrafficStream(pattern, master_index, count, seed, mode).materialise()
 
 
 def stream_items(
@@ -128,6 +50,11 @@ def stream_items(
     master_index: int,
     count: int,
     seed: int,
-) -> Iterator[TrafficItem]:
-    """Generator form of :func:`generate_items` (identical stream)."""
-    return iter(generate_items(pattern, master_index, count, seed))
+    mode: str = "compat",
+) -> TrafficStream:
+    """Lazy form of :func:`generate_items` (identical stream per mode).
+
+    The returned :class:`TrafficStream` restarts from the seed on every
+    ``iter()``, so one stream can feed several platform builds.
+    """
+    return TrafficStream(pattern, master_index, count, seed, mode)

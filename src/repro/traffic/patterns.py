@@ -54,6 +54,12 @@ class TrafficPattern:
     #: loop only) and the completion deadline after issue.
     period: Optional[int] = None
     deadline_offset: Optional[int] = None
+    #: Bursty (MPEG-like) arrivals: ``(accesses_per_burst, gap_lo,
+    #: gap_hi)``.  Every ``accesses_per_burst``-th item (after the
+    #: first) draws its think time from the *gap* range instead of
+    #: ``think_range``, producing frame-sized request clumps separated
+    #: by long idle gaps.  ``None`` keeps the uniform closed-loop model.
+    burst_gap: Optional[Tuple[int, int, int]] = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.read_fraction <= 1.0:
@@ -84,6 +90,12 @@ class TrafficPattern:
             raise TrafficError("period must be positive")
         if self.deadline_offset is not None and self.deadline_offset < 1:
             raise TrafficError("deadline offset must be positive")
+        if self.burst_gap is not None:
+            per_burst, gap_lo, gap_hi = self.burst_gap
+            if per_burst < 1:
+                raise TrafficError("burst_gap needs at least one access per burst")
+            if gap_lo < 0 or gap_hi < gap_lo:
+                raise TrafficError(f"bad burst gap range ({gap_lo}, {gap_hi})")
 
     @property
     def is_real_time(self) -> bool:
@@ -105,6 +117,9 @@ class TrafficPattern:
             "wrap_fraction": self.wrap_fraction,
             "period": self.period,
             "deadline_offset": self.deadline_offset,
+            "burst_gap": (
+                None if self.burst_gap is None else list(self.burst_gap)
+            ),
         }
 
     @classmethod
@@ -124,6 +139,9 @@ class TrafficPattern:
         if "think_range" in kwargs:
             lo, hi = kwargs["think_range"]
             kwargs["think_range"] = (int(lo), int(hi))
+        if kwargs.get("burst_gap") is not None:
+            per_burst, gap_lo, gap_hi = kwargs["burst_gap"]
+            kwargs["burst_gap"] = (int(per_burst), int(gap_lo), int(gap_hi))
         return cls(**kwargs)
 
 
@@ -178,6 +196,20 @@ WRITER = TrafficPattern(
     sequential_fraction=0.4,
 )
 
+#: MPEG-like decoder: frame-sized clumps of long sequential bursts
+#: separated by inter-frame idle gaps (the bursty arrival process the
+#: scenario backlog asks for; generate with ``mode="stream"`` so the
+#: gap draws batch).
+MPEG = TrafficPattern(
+    name="mpeg",
+    read_fraction=0.85,
+    burst_mix=((8, 0.5), (16, 0.5)),
+    think_range=(0, 2),
+    sequential_fraction=0.9,
+    burst_gap=(12, 150, 400),
+    deadline_offset=220,
+)
+
 #: Fully random single transfers — the worst case for row locality.
 RANDOM = TrafficPattern(
     name="random",
@@ -189,7 +221,7 @@ RANDOM = TrafficPattern(
 
 NAMED_PATTERNS = {
     pattern.name: pattern
-    for pattern in (CPU, DMA, VIDEO, AUDIO, WRITER, RANDOM)
+    for pattern in (CPU, DMA, VIDEO, AUDIO, WRITER, MPEG, RANDOM)
 }
 
 

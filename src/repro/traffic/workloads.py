@@ -19,7 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.ahb.master import TlmMaster
 from repro.core.qos import QosSetting
 from repro.errors import TrafficError
-from repro.traffic.generator import generate_items
+from repro.traffic.generator import generate_items, stream_items
+from repro.traffic.streams import GENERATION_MODES
 from repro.traffic.patterns import (
     AUDIO,
     CPU,
@@ -64,15 +65,27 @@ class MasterSpec:
 
 @dataclass(frozen=True)
 class Workload:
-    """A complete, seeded multi-master scenario."""
+    """A complete, seeded multi-master scenario.
+
+    ``gen_mode`` selects the traffic generator: ``"compat"`` (default)
+    materialises the legacy bit-exact stream eagerly at build time;
+    ``"stream"`` feeds masters a lazy batched
+    :class:`~repro.traffic.streams.TrafficStream`.
+    """
 
     name: str
     masters: Tuple[MasterSpec, ...]
     seed: int = 1
+    gen_mode: str = "compat"
 
     def __post_init__(self) -> None:
         if not self.masters:
             raise TrafficError("workload needs at least one master")
+        if self.gen_mode not in GENERATION_MODES:
+            raise TrafficError(
+                f"unknown gen_mode {self.gen_mode!r}; "
+                f"choose from {GENERATION_MODES}"
+            )
 
     @property
     def num_masters(self) -> int:
@@ -91,10 +104,26 @@ class Workload:
         }
 
     def build_masters(self) -> List[TlmMaster]:
-        """Instantiate fresh traffic agents (one run's worth)."""
+        """Instantiate fresh traffic agents (one run's worth).
+
+        Compat mode materialises items eagerly (bit-exact legacy
+        behaviour: generation cost stays in the untimed build phase);
+        stream mode hands each master a lazy batched stream.
+        """
         agents: List[TlmMaster] = []
         for index, spec in enumerate(self.masters):
-            items = generate_items(spec.pattern, index, spec.transactions, self.seed)
+            if self.gen_mode == "compat":
+                items = generate_items(
+                    spec.pattern, index, spec.transactions, self.seed
+                )
+            else:
+                items = stream_items(
+                    spec.pattern,
+                    index,
+                    spec.transactions,
+                    self.seed,
+                    mode=self.gen_mode,
+                )
             agents.append(TlmMaster(index, spec.name, items))
         return agents
 
@@ -115,6 +144,7 @@ class Workload:
         return {
             "name": self.name,
             "seed": self.seed,
+            "gen_mode": self.gen_mode,
             "masters": [spec.to_dict() for spec in self.masters],
         }
 
@@ -130,6 +160,7 @@ class Workload:
                 MasterSpec.from_dict(spec) for spec in data["masters"]
             ),
             seed=int(data.get("seed", 1)),
+            gen_mode=str(data.get("gen_mode", "compat")),
         )
 
 

@@ -120,3 +120,102 @@ class TestCommittedBaseline:
         ratios = report["speedup_vs_seed"]
         assert ratios["tlm_method"] >= 1.5
         assert ratios["rtl"] >= 1.3
+
+
+class TestTrafficgenSuite:
+    def test_shape_and_positive_rates(self):
+        from repro.analysis.bench_io import run_trafficgen_suite
+
+        block = run_trafficgen_suite(items=2000, repeats=1)
+        assert block["items"] == 2000
+        for mode in ("compat", "stream"):
+            sample = block["modes"][mode]
+            assert sample["items_per_sec"] > 0
+            assert sample["wall_seconds"] > 0
+        assert block["stream_over_compat"] > 0
+
+
+class TestSweepSuite:
+    def test_shape_and_determinism_gate(self):
+        from repro.analysis.bench_io import run_sweep_suite
+
+        block = run_sweep_suite(transactions=30)
+        assert block["points"] == 8
+        assert block["workers"] >= 1
+        assert block["serial_wall_seconds"] > 0
+        assert block["process_wall_seconds"] > 0
+        assert block["process_over_serial"] > 0
+
+
+class TestCycleDeterminismGate:
+    def test_cycle_drift_fails_even_cross_host(self):
+        baseline_block = _block(tlm=1000.0)
+        baseline_block["host"] = "build-farm-a"
+        baseline = make_report(baseline_block)
+        fresh = _block(tlm=100.0)
+        fresh["host"] = "laptop-b"
+        fresh["models"]["tlm_method"]["simulated_cycles"] = 999  # drift!
+        failures = compare_reports(fresh, baseline)
+        assert len(failures) == 1
+        assert "determinism drift" in failures[0]
+
+
+class TestCommittedNewEntries:
+    """The committed baseline carries the PR's trafficgen/sweep evidence."""
+
+    def test_baseline_has_trafficgen_and_sweep(self):
+        report = json.loads(BENCH_PATH.read_text())
+        current = report["current"]
+        assert current["trafficgen"]["modes"]["stream"]["items_per_sec"] > 0
+        assert current["sweep"]["points"] >= 8
+        assert current["sweep"]["process_over_serial"] > 0
+
+
+class TestJsonRoundTripWithNestedMetrics:
+    def test_record_survives_json_with_nested_metrics(self):
+        from repro.exec import RunRecord, SweepRunner
+        from repro.analysis.accuracy import _collect_functional
+        from repro.system import paper_topology, sweep
+        from repro.traffic import single_master_workload
+
+        grid = sweep(
+            paper_topology(workload=single_master_workload(8)),
+            axis="engine",
+            values=("tlm",),
+        )
+        [record] = SweepRunner().run(grid, collect=_collect_functional)
+        wire = json.loads(json.dumps(record.to_dict()))
+        rebuilt = RunRecord.from_dict(wire)
+        assert rebuilt == record
+        hash(rebuilt)  # nested metrics must stay hashable
+
+
+class TestCliGating:
+    """main() must grade cycle drift and the sweep gate on every path."""
+
+    def _fresh_args(self, baseline):
+        return [
+            "--baseline",
+            str(baseline),
+            "--repeats-tlm",
+            "1",
+            "--repeats-rtl",
+            "1",
+        ]
+
+    def test_cross_host_cycle_drift_fails_cli(self, tmp_path, capsys):
+        from benchmarks.bench_regression import main
+        from repro.analysis.bench_io import make_report, run_speed_suite
+
+        block = run_speed_suite(
+            repeats_tlm=1,
+            repeats_rtl=1,
+            include_trafficgen=False,
+            include_sweep=False,
+        )
+        block["host"] = "some-other-host"
+        block["models"]["tlm_method"]["simulated_cycles"] += 1  # drift
+        path = tmp_path / "bench.json"
+        write_report(path, make_report(block))
+        assert main(self._fresh_args(path)) == 1
+        assert "determinism drift" in capsys.readouterr().err

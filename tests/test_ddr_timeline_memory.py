@@ -171,3 +171,85 @@ class TestMemoryModel:
             mem.write(addr, 4, value)
         for addr, value in writes.items():
             assert mem.read(addr, 4) == value
+
+
+class TestWordFastPath:
+    """The word-keyed store must be observably identical to byte-only."""
+
+    def test_byte_write_into_word_entry(self):
+        mem = MemoryModel()
+        mem.write(0x10, 4, 0x11223344)  # word fast path
+        mem.write(0x11, 1, 0xAA)  # spills the word, patches one byte
+        assert mem.read(0x10, 4) == 0x1122AA44
+        assert mem.read(0x11, 1) == 0xAA
+        assert mem.touched_bytes() == 4
+
+    def test_word_write_over_byte_entries(self):
+        mem = MemoryModel()
+        mem.write(0x20, 1, 0x55)
+        mem.write(0x22, 2, 0xBEEF)
+        mem.write(0x20, 4, 0xDEADBEEF)  # evicts all byte residue
+        assert mem.read(0x20, 4) == 0xDEADBEEF
+        assert mem.read(0x21, 1) == 0xBE
+        assert mem.touched_bytes() == 4
+
+    def test_unaligned_word_read_merges_stores(self):
+        mem = MemoryModel()
+        mem.write(0x0, 4, 0x44332211)
+        mem.write(0x4, 4, 0x88776655)
+        assert mem.read(0x2, 4) == 0x66554433
+
+    def test_wide_access_spans_words(self):
+        mem = MemoryModel()
+        mem.write(0x8, 8, 0x1122334455667788)
+        assert mem.read(0x8, 4) == 0x55667788
+        assert mem.read(0xC, 4) == 0x11223344
+        assert mem.read(0x8, 8) == 0x1122334455667788
+
+    def test_equal_contents_across_store_shapes(self):
+        word_wise, byte_wise = MemoryModel(), MemoryModel()
+        word_wise.write(0x40, 4, 0xCAFEBABE)
+        for i, byte in enumerate((0xBE, 0xBA, 0xFE, 0xCA)):
+            byte_wise.write(0x40 + i, 1, byte)
+        assert word_wise.equal_contents(byte_wise)
+        assert byte_wise.equal_contents(word_wise)
+        byte_wise.write(0x41, 1, 0x00)
+        assert not word_wise.equal_contents(byte_wise)
+        addr, mine, theirs = word_wise.first_difference(byte_wise)
+        assert (addr, mine, theirs) == (0x41, 0xBA, 0x00)
+
+    def test_items_merge_in_address_order(self):
+        mem = MemoryModel()
+        mem.write(0x8, 4, 0x0A0B0C0D)
+        mem.write(0x3, 1, 0x99)
+        assert list(mem.items()) == [
+            (0x3, 0x99),
+            (0x8, 0x0D),
+            (0x9, 0x0C),
+            (0xA, 0x0B),
+            (0xB, 0x0A),
+        ]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=64),
+                st.sampled_from([1, 2, 4]),
+                st.integers(min_value=0, max_value=2**32 - 1),
+            ),
+            max_size=40,
+        )
+    )
+    def test_matches_byte_reference(self, ops):
+        """Random interleaved sizes: model vs a plain byte-dict oracle."""
+        mem = MemoryModel()
+        oracle = {}
+        for addr, size, value in ops:
+            addr -= addr % size  # keep accesses aligned like bus traffic
+            value &= (1 << (8 * size)) - 1
+            mem.write(addr, size, value)
+            for i in range(size):
+                oracle[addr + i] = (value >> (8 * i)) & 0xFF
+        for addr in range(0, 72):
+            assert mem.read(addr, 1) == oracle.get(addr, 0)
+        assert mem.touched_bytes() == len(oracle)

@@ -1,0 +1,40 @@
+"""The legacy one-call builders must warn but keep working.
+
+PR 2 turned ``build_tlm_platform`` / ``build_plain_platform`` /
+``build_rtl_platform`` into thin shims over the spec API; this suite
+asserts they now say so out loud (``DeprecationWarning``) while their
+output stays usable — the golden-trace suite separately pins that the
+output is bit-identical.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core import build_plain_platform, build_tlm_platform
+from repro.rtl import build_rtl_platform
+from repro.traffic import single_master_workload
+
+
+@pytest.mark.parametrize(
+    "builder",
+    [build_tlm_platform, build_plain_platform, build_rtl_platform],
+    ids=["tlm", "plain", "rtl"],
+)
+def test_shim_emits_deprecation_warning(builder):
+    with pytest.warns(DeprecationWarning, match="PlatformBuilder"):
+        platform = builder(single_master_workload(5))
+    # The shim still works: callers are warned, not broken.
+    result = platform.run()
+    assert result.transactions == 5
+
+
+def test_spec_api_is_warning_free():
+    from repro.system import PlatformBuilder, paper_topology
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        platform = PlatformBuilder(
+            paper_topology(workload=single_master_workload(5))
+        ).build("tlm")
+        assert platform.run().transactions == 5

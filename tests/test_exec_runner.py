@@ -1,0 +1,128 @@
+"""The repro.exec runner layer: records, backends, determinism.
+
+The load-bearing guarantee is the satellite requirement: the process
+backend must return records *equal* to the serial backend for the QoS
+and filter grids — same counters, same order — with only wall time
+(excluded from equality) differing.
+"""
+
+import pytest
+
+import repro.core  # noqa: F401  (anchor package import order)
+from repro.analysis.experiments import (
+    _collect_deadline_stats,
+    filter_ablation_grid,
+)
+from repro.errors import ConfigError
+from repro.exec import BACKENDS, RunRecord, SweepRunner, default_workers, run_grid
+from repro.system import paper_topology, sweep
+from repro.traffic import saturating_workload, write_heavy_workload
+
+
+def _qos_grid(transactions=30):
+    spec = paper_topology(workload=saturating_workload(transactions))
+    return sweep(
+        spec,
+        axis="engine",
+        values=("plain", "tlm"),
+        labels=("plain-ahb", "ahb+"),
+    )
+
+
+class TestRunRecord:
+    def test_from_run_and_round_trip(self):
+        [point] = sweep(
+            paper_topology(workload=write_heavy_workload(20)),
+            axis="write_buffer_depth",
+            values=(4,),
+        )
+        [record] = SweepRunner().run([point])
+        assert record.axis == "write_buffer_depth"
+        assert record.value == "4"
+        assert record.engine == "tlm"
+        assert record.system == point.spec.name
+        assert record.cycles > 0 and record.transactions > 0
+        assert 0.0 < record.utilization <= 1.0
+        assert record.wall_seconds > 0
+        rebuilt = RunRecord.from_dict(record.to_dict())
+        assert rebuilt == record
+
+    def test_equality_ignores_wall_time(self):
+        grid = _qos_grid(10)
+        a = SweepRunner().run(grid)
+        b = SweepRunner().run(grid)
+        assert a == b  # wall clocks certainly differed
+
+    def test_metric_lookup(self):
+        [record] = SweepRunner().run(
+            _qos_grid(10)[1:], collect=_collect_deadline_stats
+        )
+        assert record.metric("rt_transactions") > 0
+        assert record.metric("nope", default=7) == 7
+        with pytest.raises(ConfigError):
+            record.metric("nope")
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError):
+            RunRecord.from_dict({"label": "x", "bogus": 1})
+
+
+class TestBackendEquivalence:
+    """Satellite requirement: process records == serial records."""
+
+    def test_qos_grid(self):
+        grid = _qos_grid()
+        serial = SweepRunner(backend="serial").run(
+            grid, collect=_collect_deadline_stats
+        )
+        process = SweepRunner(backend="process").run(
+            grid, collect=_collect_deadline_stats
+        )
+        assert serial == process
+        assert [r.label for r in process] == ["plain-ahb", "ahb+"]
+
+    def test_filter_grid(self):
+        grid = filter_ablation_grid(40)
+        serial = SweepRunner(backend="serial").run(grid)
+        process = SweepRunner(backend="process").run(grid)
+        assert serial == process
+        assert [r.label for r in process] == [p.label for p in grid]
+
+    def test_chunked_pool_preserves_grid_order(self):
+        grid = filter_ablation_grid(30)
+        records = SweepRunner(
+            backend="process", workers=2, chunksize=3
+        ).run(grid)
+        assert [r.label for r in records] == [p.label for p in grid]
+
+
+class TestRunnerKnobs:
+    def test_empty_grid(self):
+        assert SweepRunner().run([]) == []
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigError):
+            SweepRunner(backend="gpu")
+        with pytest.raises(ConfigError):
+            SweepRunner(workers=0)
+        with pytest.raises(ConfigError):
+            SweepRunner(chunksize=0)
+        with pytest.raises(ConfigError):
+            SweepRunner(repeats=0)
+
+    def test_repeats_keep_counters_identical(self):
+        grid = _qos_grid(10)
+        once = SweepRunner(repeats=1).run(grid)
+        thrice = SweepRunner(repeats=3).run(grid)
+        assert once == thrice
+
+    def test_run_grid_helper(self):
+        grid = _qos_grid(10)
+        assert run_grid(grid) == run_grid(grid, backend="process")
+
+    def test_default_workers_caps(self):
+        assert default_workers(1) == 1
+        assert default_workers() >= 1
+
+    def test_backends_constant(self):
+        assert BACKENDS == ("serial", "process")

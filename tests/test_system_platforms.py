@@ -306,3 +306,42 @@ class TestMultiSlaveScenario:
         error = abs(rtl_result.cycles - tlm_result.cycles) / rtl_result.cycles
         assert error < 0.10  # paper reports ~96–98% accuracy
         assert tlm_result.transactions == rtl_result.transactions
+
+
+class TestMpegBurstyScenario:
+    """Bursty MPEG-like arrivals (scenario backlog) at TLM and RTL."""
+
+    def test_registered_and_stream_mode(self):
+        spec = scenario("mpeg-bursty", transactions=10)
+        assert spec.workload.gen_mode == "stream"
+        patterns = [m.pattern for m in spec.workload.masters]
+        assert any(p.burst_gap is not None for p in patterns)
+        # RT decoder streams carry QoS settings into the config.
+        assert spec.config().qos
+
+    def test_runs_at_tlm_and_rtl_with_functional_match(self):
+        spec = scenario("mpeg-bursty", transactions=25)
+        builder = PlatformBuilder(spec)
+        tlm = builder.build("tlm")
+        tlm_result = tlm.run()
+        rtl = builder.build("rtl")
+        rtl_result = rtl.run()
+        assert tlm_result.transactions > 0
+        assert rtl.memory.equal_contents(tlm.memory)
+        # Same stream at both levels: cycle counts must stay close
+        # (the paper's accuracy claim extends to bursty arrivals).
+        error = abs(tlm_result.cycles - rtl_result.cycles) / rtl_result.cycles
+        assert error < 0.10
+
+    def test_bursts_visible_in_issue_schedule(self):
+        """Inter-frame gaps must actually shape the issue timeline."""
+        spec = scenario("mpeg-bursty", transactions=30)
+        per_burst, gap_lo, _hi = spec.workload.masters[0].pattern.burst_gap
+        platform = PlatformBuilder(spec).build("tlm")
+        platform.run()
+        issued = sorted(
+            txn.issued_at for txn in platform.masters[0].completed
+        )
+        gaps = [b - a for a, b in zip(issued, issued[1:])]
+        long_gaps = [g for g in gaps if g >= gap_lo]
+        assert len(long_gaps) >= (30 // per_burst) - 1

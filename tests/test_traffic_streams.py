@@ -1,0 +1,293 @@
+"""Batched stream generator: compat bit-exactness and stream-mode laws.
+
+The compat-mode contract is the strongest kind: for every
+``(pattern, master, count, seed)`` the new generator must produce the
+*identical* ``TrafficItem`` sequence the seed implementation produced.
+``_legacy_generate`` below is a verbatim frozen copy of that seed
+implementation — the golden arbitration trace pins the same property
+end-to-end, this test pins it item by item.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ahb.burst import KB_BOUNDARY, check_burst_legal
+from repro.ahb.master import TrafficItem
+from repro.ahb.transaction import Transaction
+from repro.ahb.types import AccessKind
+from repro.errors import TrafficError
+from repro.traffic import (
+    CPU,
+    DMA,
+    MPEG,
+    VIDEO,
+    WRITER,
+    GENERATION_MODES,
+    TrafficPattern,
+    TrafficStream,
+    Workload,
+    generate_items,
+    stream_items,
+    table1_pattern_a,
+)
+
+
+# -- the frozen seed implementation (reference for compat mode) -----------------
+
+
+def _legal_beats(addr, beats, size_bytes, span_end):
+    room_kb = (KB_BOUNDARY - addr % KB_BOUNDARY) // size_bytes
+    room_span = (span_end - addr) // size_bytes
+    return max(1, min(beats, room_kb, room_span))
+
+
+def _legacy_generate(pattern, master_index, count, seed):
+    """Verbatim copy of the seed repo's ``generate_items`` loop."""
+    rng = random.Random(f"{seed}/{pattern.name}/{master_index}")
+    items = []
+    burst_choices = [beats for beats, _w in pattern.burst_mix]
+    burst_weights = [weight for _b, weight in pattern.burst_mix]
+    span_end = pattern.base_addr + pattern.addr_span
+    next_sequential = pattern.base_addr
+    data_mask = (1 << (8 * pattern.size_bytes)) - 1
+    for index in range(count):
+        beats = rng.choices(burst_choices, weights=burst_weights)[0]
+        if rng.random() < pattern.sequential_fraction:
+            addr = next_sequential
+            if addr + beats * pattern.size_bytes > span_end:
+                addr = pattern.base_addr
+        else:
+            span_words = pattern.addr_span // pattern.size_bytes
+            addr = (
+                pattern.base_addr
+                + rng.randrange(span_words) * pattern.size_bytes
+            )
+        wrapping = False
+        if beats in (4, 8, 16) and pattern.wrap_fraction > 0:
+            block = beats * pattern.size_bytes
+            block_base = (addr // block) * block
+            if (
+                block_base >= pattern.base_addr
+                and block_base + block <= span_end
+                and rng.random() < pattern.wrap_fraction
+            ):
+                wrapping = True
+        if not wrapping:
+            beats = _legal_beats(addr, beats, pattern.size_bytes, span_end)
+        advance = (
+            pattern.stride_bytes
+            if pattern.stride_bytes is not None
+            else beats * pattern.size_bytes
+        )
+        next_sequential = addr + advance
+        if next_sequential >= span_end:
+            next_sequential = pattern.base_addr
+        is_read = rng.random() < pattern.read_fraction
+        txn = Transaction(
+            master=master_index,
+            kind=AccessKind.READ if is_read else AccessKind.WRITE,
+            addr=addr,
+            beats=beats,
+            size_bytes=pattern.size_bytes,
+            wrapping=wrapping,
+            data=(
+                []
+                if is_read
+                else [rng.getrandbits(32) & data_mask for _ in range(beats)]
+            ),
+        )
+        think = rng.randint(*pattern.think_range)
+        not_before = None
+        absolute_deadline = None
+        if pattern.period is not None:
+            not_before = index * pattern.period
+            if pattern.deadline_offset is not None:
+                absolute_deadline = not_before + pattern.deadline_offset
+        items.append(
+            TrafficItem(
+                txn=txn,
+                think_cycles=think,
+                not_before=not_before,
+                deadline_offset=(
+                    None
+                    if absolute_deadline is not None
+                    else pattern.deadline_offset
+                ),
+                absolute_deadline=absolute_deadline,
+            )
+        )
+    return items
+
+
+def _item_tuple(item):
+    txn = item.txn
+    return (
+        txn.master,
+        txn.kind,
+        txn.addr,
+        txn.beats,
+        txn.size_bytes,
+        txn.wrapping,
+        tuple(txn.data),
+        item.think_cycles,
+        item.not_before,
+        item.deadline_offset,
+        item.absolute_deadline,
+    )
+
+
+WRAPPY = replace(CPU, wrap_fraction=0.6)
+STRIDED = replace(
+    DMA,
+    sequential_fraction=1.0,
+    stride_bytes=0x1000,
+    burst_mix=((4, 1.0),),
+    addr_span=0x10000,
+)
+
+PATTERNS = (CPU, DMA, VIDEO, WRITER, WRAPPY, STRIDED)
+
+
+class TestCompatBitExactness:
+    @pytest.mark.parametrize("pattern", PATTERNS, ids=lambda p: p.name)
+    def test_matches_frozen_seed_implementation(self, pattern):
+        for seed in (1, 7, 11, 33):
+            want = [_item_tuple(i) for i in _legacy_generate(pattern, 2, 60, seed)]
+            got = [_item_tuple(i) for i in generate_items(pattern, 2, 60, seed)]
+            assert got == want
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), count=st.integers(0, 40))
+    def test_matches_frozen_seed_implementation_fuzzed(self, seed, count):
+        want = [_item_tuple(i) for i in _legacy_generate(WRAPPY, 0, count, seed)]
+        got = [_item_tuple(i) for i in generate_items(WRAPPY, 0, count, seed)]
+        assert got == want
+
+    def test_lazy_stream_equals_eager_list(self):
+        stream = stream_items(CPU, 1, 50, seed=9)
+        eager = generate_items(CPU, 1, 50, seed=9)
+        assert [_item_tuple(i) for i in stream] == [
+            _item_tuple(i) for i in eager
+        ]
+
+
+class TestStreamMode:
+    def test_deterministic_per_seed_and_reiterable(self):
+        stream = stream_items(DMA, 0, 80, seed=3, mode="stream")
+        first = [_item_tuple(i) for i in stream]
+        second = [_item_tuple(i) for i in stream]  # restart from seed
+        assert first == second
+        assert first == [
+            _item_tuple(i) for i in generate_items(DMA, 0, 80, 3, mode="stream")
+        ]
+
+    def test_different_seeds_differ(self):
+        a = generate_items(CPU, 0, 50, 7, mode="stream")
+        b = generate_items(CPU, 0, 50, 8, mode="stream")
+        assert [i.txn.addr for i in a] != [i.txn.addr for i in b]
+
+    @pytest.mark.parametrize(
+        "pattern", (*PATTERNS, MPEG), ids=lambda p: p.name
+    )
+    def test_protocol_legal(self, pattern):
+        for item in generate_items(pattern, 0, 300, 13, mode="stream"):
+            txn = item.txn
+            check_burst_legal(txn)
+            assert txn.addr % txn.size_bytes == 0
+            end = pattern.base_addr + pattern.addr_span
+            assert pattern.base_addr <= txn.addr < end
+            assert txn.addr + txn.total_bytes <= end
+
+    def test_write_items_carry_data(self):
+        writer = replace(CPU, read_fraction=0.0)
+        for item in generate_items(writer, 0, 30, 3, mode="stream"):
+            assert item.txn.is_write
+            assert len(item.txn.data) == item.txn.beats
+            assert all(0 <= w < (1 << 32) for w in item.txn.data)
+
+    def test_periodic_pattern_sets_schedule(self):
+        items = generate_items(VIDEO, 0, 5, 1, mode="stream")
+        assert [i.not_before for i in items] == [
+            k * VIDEO.period for k in range(5)
+        ]
+        assert all(i.absolute_deadline is not None for i in items)
+
+    def test_chunk_boundaries_are_invisible(self):
+        whole = [
+            _item_tuple(i)
+            for i in TrafficStream(CPU, 0, 100, 5, mode="stream", chunk=1000)
+        ]
+        chunked = [
+            _item_tuple(i)
+            for i in TrafficStream(CPU, 0, 100, 5, mode="stream", chunk=7)
+        ]
+        assert whole == chunked
+
+    def test_spans_legal_and_sequential_chain(self):
+        items = generate_items(STRIDED, 0, 4, 1, mode="stream")
+        addrs = [i.txn.addr for i in items]
+        assert addrs == [0x0, 0x1000, 0x2000, 0x3000]
+
+
+class TestBurstGap:
+    def test_gap_applies_at_burst_boundaries(self):
+        per_burst, gap_lo, gap_hi = MPEG.burst_gap
+        for mode in GENERATION_MODES:
+            items = generate_items(MPEG, 0, 3 * per_burst + 1, 4, mode=mode)
+            for index, item in enumerate(items):
+                if index > 0 and index % per_burst == 0:
+                    assert gap_lo <= item.think_cycles <= gap_hi, (mode, index)
+                else:
+                    lo, hi = MPEG.think_range
+                    assert lo <= item.think_cycles <= hi, (mode, index)
+
+    def test_validation(self):
+        with pytest.raises(TrafficError):
+            TrafficPattern(name="bad", burst_gap=(0, 1, 2))
+        with pytest.raises(TrafficError):
+            TrafficPattern(name="bad", burst_gap=(4, 5, 2))
+
+    def test_pattern_round_trip(self):
+        rebuilt = TrafficPattern.from_dict(MPEG.to_dict())
+        assert rebuilt == MPEG
+
+
+class TestModesAndWorkloads:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TrafficError):
+            generate_items(CPU, 0, 5, 1, mode="quantum")
+        with pytest.raises(TrafficError):
+            Workload("w", table1_pattern_a(5).masters, 1, gen_mode="quantum")
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(TrafficError):
+            stream_items(CPU, 0, -1, seed=0)
+
+    def test_len_without_materialising(self):
+        assert len(stream_items(CPU, 0, 123, 1, mode="stream")) == 123
+
+    def test_workload_gen_mode_round_trips(self):
+        workload = Workload(
+            "w", table1_pattern_a(5).masters, 1, gen_mode="stream"
+        )
+        rebuilt = Workload.from_dict(workload.to_dict())
+        assert rebuilt == workload
+        assert rebuilt.gen_mode == "stream"
+
+    def test_stream_workload_platforms_agree(self):
+        """A stream-mode workload is the same stream at every level."""
+        from repro.system import PlatformBuilder, paper_topology
+
+        workload = Workload(
+            "w", table1_pattern_a(12).masters, 3, gen_mode="stream"
+        )
+        builder = PlatformBuilder(paper_topology(workload=workload))
+        tlm = builder.build("tlm")
+        tlm_result = tlm.run()
+        rtl = builder.build("rtl")
+        rtl.run()
+        assert rtl.memory.equal_contents(tlm.memory)
+        assert tlm_result.transactions > 0
