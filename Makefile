@@ -1,7 +1,12 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-baseline bench-tables sweep-demo
+.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo
+
+# Optional bench filter: `make bench MODELS=rtl` measures/gates only
+# the named models (space-separated subset of tlm_method
+# tlm_single_master rtl).
+MODELS ?=
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -11,13 +16,25 @@ test:
 smoke:
 	$(PYTHON) -m pytest tests/test_examples_smoke.py -q
 
-# Run the §4 speed suite and fail on >20% regression vs BENCH_speed.json.
+# Run the §4 speed suite and fail on >20% regression vs BENCH_speed.json
+# (prints a per-model delta table; narrow with MODELS=rtl).
 bench:
-	$(PYTHON) -m benchmarks.bench_regression
+	$(PYTHON) -m benchmarks.bench_regression $(if $(MODELS),--models $(MODELS))
 
-# Re-record BENCH_speed.json's `current` block (preserves the seed block).
+# Re-record BENCH_speed.json's `current` block (preserves the seed block
+# and appends this revision to the speed-trajectory history).
 bench-baseline:
 	$(PYTHON) -m benchmarks.bench_regression --write-baseline
+
+# Print the committed speed trajectory (seed -> milestones -> current).
+bench-trajectory:
+	$(PYTHON) -m benchmarks.bench_regression --trajectory
+
+# cProfile one run of each bench model; top cumulative functions per
+# model (narrow with MODELS=rtl, deepen with TOP=25).
+TOP ?= 15
+profile:
+	$(PYTHON) -m benchmarks.profile_hotspots --top $(TOP) $(if $(MODELS),--models $(MODELS))
 
 # The full paper-table benchmark suite (slow; pytest-benchmark output).
 bench-tables:

@@ -13,10 +13,16 @@ Usage (see also ``make bench`` / ``make bench-baseline``)::
 
 Beyond the per-model Kcycles/s gate, the suite measures traffic
 generation (items/s per mode) and end-to-end sweep execution (the A5
-filter grid, serial vs process).  On hosts with more than one worker
-the process backend must beat serial by ``--min-sweep-speedup``
-(default 1.5x); on single-CPU hosts the speedup is recorded but not
-gated — a pool of one worker can only add overhead.
+filter grid, serial vs process over a reused pool).  On hosts with
+more than one worker the process backend must beat serial by
+``--min-sweep-speedup`` (default 1.5x); on single-CPU hosts the
+speedup is recorded but not gated — a pool of one worker can only add
+overhead.
+
+``--models rtl`` narrows measurement and grading to a model subset
+(the check path prints a per-model delta table either way), and
+``--trajectory`` renders the committed speed history (seed → PR
+milestones → current) without measuring anything.
 """
 
 from __future__ import annotations
@@ -27,10 +33,14 @@ from pathlib import Path
 
 import repro.core  # noqa: F401  (anchor package import order)
 from repro.analysis.bench_io import (
+    MODELS,
+    append_history,
     compare_reports,
     load_report,
     make_report,
     render_block,
+    render_delta_table,
+    render_trajectory,
     run_speed_suite,
     same_host,
     speedups_vs,
@@ -75,10 +85,48 @@ def main(argv=None) -> int:
             "has more than one worker (default: 1.5)"
         ),
     )
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        choices=MODELS,
+        default=None,
+        metavar="MODEL",
+        help=(
+            "measure/gate only these models (e.g. --models rtl while "
+            "iterating on the pin-accurate hot path)"
+        ),
+    )
+    parser.add_argument(
+        "--trajectory",
+        action="store_true",
+        help="print the committed speed-trajectory table and exit",
+    )
     args = parser.parse_args(argv)
 
+    if args.trajectory:
+        if not args.baseline.exists():
+            print(f"no baseline at {args.baseline}", file=sys.stderr)
+            return 2
+        print(render_trajectory(load_report(args.baseline)))
+        return 0
+
+    if args.write_baseline and args.models is not None:
+        # Validated before any measurement runs: a partial suite must
+        # never overwrite the committed full-suite baseline.
+        print(
+            "--write-baseline needs the full model suite; drop --models",
+            file=sys.stderr,
+        )
+        return 2
+
     fresh = run_speed_suite(
-        repeats_tlm=args.repeats_tlm, repeats_rtl=args.repeats_rtl
+        repeats_tlm=args.repeats_tlm,
+        repeats_rtl=args.repeats_rtl,
+        models=args.models,
+        # A filtered run is for fast iteration on one model: skip the
+        # unrelated trafficgen/sweep suites too.
+        include_trafficgen=args.models is None,
+        include_sweep=args.models is None,
     )
     print(render_block(fresh, title="this run"))
 
@@ -91,9 +139,22 @@ def main(argv=None) -> int:
         for failure in sweep_failures:
             print(f"WARNING: {failure}", file=sys.stderr)
         seed = None
+        history = None
         if args.baseline.exists():
-            seed = load_report(args.baseline).get("seed")
-        report = make_report(fresh, seed=seed)
+            previous = load_report(args.baseline)
+            seed = previous.get("seed")
+            # Archive the *outgoing* current block as a history
+            # milestone before this run replaces it — the fresh numbers
+            # live in `current`, never duplicated into history.
+            outgoing = previous.get("current")
+            history = previous.get("history")
+            if outgoing:
+                history = append_history(
+                    history,  # type: ignore[arg-type]
+                    outgoing,  # type: ignore[arg-type]
+                    label=f"rev {outgoing.get('git_rev', '?')}",  # type: ignore[union-attr]
+                )
+        report = make_report(fresh, seed=seed, history=history)
         write_report(args.baseline, report)
         print(f"baseline written to {args.baseline}")
         print(f"speedup vs seed: {report['speedup_vs_seed']}")
@@ -111,7 +172,9 @@ def main(argv=None) -> int:
         return 2
 
     baseline = load_report(args.baseline)
-    print(render_block(baseline.get("current", baseline), title="baseline"))
+    # The readable verdict table is the primary comparison output; the
+    # REGRESSION lines below stay as the machine-greppable detail.
+    print(render_delta_table(fresh, baseline, threshold=args.threshold))
     seed = baseline.get("seed")
     if seed is not None:
         print(f"cumulative speedup vs seed: {speedups_vs(fresh, seed)}")

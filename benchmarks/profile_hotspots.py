@@ -1,0 +1,79 @@
+"""cProfile the bench models and print their hottest functions.
+
+Usage (see also ``make profile``)::
+
+    PYTHONPATH=src python -m benchmarks.profile_hotspots
+        Profile one run of every bench model (the exact workloads the
+        speed suite wall-clocks) and print the top cumulative-time
+        functions per model.
+
+    PYTHONPATH=src python -m benchmarks.profile_hotspots --models rtl --top 25
+        Restrict to one model and/or deepen the listing.
+
+Perf PRs cite these tables as their before/after evidence: run once on
+the parent commit, once on the branch, and the shifted rows are the
+optimisation's footprint.  Platform construction is excluded from the
+profile, matching the speed suite's untimed-build methodology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+
+import repro.core  # noqa: F401  (anchor package import order)
+from repro.analysis.bench_io import BENCH_MODEL_RUNS
+from repro.system.platform import PlatformBuilder
+from repro.system.scenarios import paper_topology
+
+
+def _build(name: str) -> object:
+    """Build the exact (level, workload) pair the speed suite times.
+
+    ``BENCH_MODEL_RUNS`` is the shared definition, so `make profile`
+    can never drift from what `make bench` measures.
+    """
+    level, make_workload = BENCH_MODEL_RUNS[name]
+    return PlatformBuilder(
+        paper_topology(workload=make_workload())
+    ).build(level)
+
+
+def profile_model(name: str, top: int = 15) -> pstats.Stats:
+    """Profile one bench model's ``run()`` and print its top functions."""
+    platform = _build(name)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    platform.run()
+    profiler.disable()
+    stats = pstats.Stats(profiler).sort_stats("cumulative")
+    print(f"\n== {name}: top {top} by cumulative time ==")
+    stats.print_stats(top)
+    return stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--models",
+        nargs="+",
+        choices=tuple(BENCH_MODEL_RUNS),
+        default=tuple(BENCH_MODEL_RUNS),
+        metavar="MODEL",
+        help="models to profile (default: all bench models)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="functions to list per model (default: 15)",
+    )
+    args = parser.parse_args(argv)
+    for name in args.models:
+        profile_model(name, top=args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,11 +32,11 @@ import subprocess
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.speed import SpeedSample, measure_rtl, measure_tlm
-from repro.errors import SimulationError
-from repro.exec import SweepRunner, default_workers
+from repro.errors import ConfigError, SimulationError
+from repro.exec import SweepRunner, default_workers, shared_pool
 from repro.traffic.generator import generate_items
 from repro.traffic.patterns import DMA
 from repro.traffic.workloads import single_master_workload, table1_pattern_a
@@ -59,6 +59,19 @@ SWEEP_TRANSACTIONS = 120
 
 #: Models measured by the suite (report keys).
 MODELS = ("tlm_method", "tlm_single_master", "rtl")
+
+#: model -> (engine level, workload factory): the single definition of
+#: what each bench model runs.  The speed suite wall-clocks these and
+#: ``benchmarks/profile_hotspots.py`` profiles the same pairs, so the
+#: profiler's evidence always matches what ``make bench`` times.
+BENCH_MODEL_RUNS = {
+    "tlm_method": ("tlm", lambda: table1_pattern_a(TLM_TRANSACTIONS)),
+    "tlm_single_master": (
+        "tlm",
+        lambda: single_master_workload(SINGLE_MASTER_TRANSACTIONS),
+    ),
+    "rtl": ("rtl", lambda: table1_pattern_a(RTL_TRANSACTIONS)),
+}
 
 
 def git_revision(default: str = "unknown") -> str:
@@ -123,29 +136,55 @@ def run_trafficgen_suite(
 def run_sweep_suite(
     transactions: int = SWEEP_TRANSACTIONS,
     workers: Optional[int] = None,
+    repeats: int = 3,
 ) -> Dict[str, object]:
     """End-to-end sweep wall time: serial vs process on the A5 grid.
 
-    Also a determinism gate: the two backends' records must be equal,
-    or the measurement itself raises.
+    Both backends run best-of-*repeats*; the process backend maps over
+    one :func:`~repro.exec.shared_pool`, so only the first repeat pays
+    pool start-up and the recorded wall time reflects a warm pool — the
+    steady state of any caller that executes more than one grid.  Also
+    a determinism gate: every repeat's records must equal the serial
+    records, or the measurement itself raises.
     """
     from repro.analysis.experiments import filter_ablation_grid
 
     grid = filter_ablation_grid(transactions)
-    start = time.perf_counter()
-    serial_records = SweepRunner(backend="serial").run(grid)
-    serial_wall = time.perf_counter() - start
-    start = time.perf_counter()
-    process_records = SweepRunner(backend="process", workers=workers).run(grid)
-    process_wall = time.perf_counter() - start
-    if serial_records != process_records:
-        raise SimulationError(
-            "process-backend sweep records diverged from the serial backend"
-        )
+    resolved_workers = (
+        workers if workers is not None else default_workers(len(grid))
+    )
+    repeats = max(repeats, 1)
+
+    serial_runner = SweepRunner(backend="serial")
+    serial_wall = float("inf")
+    serial_records = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        records = serial_runner.run(grid)
+        serial_wall = min(serial_wall, time.perf_counter() - start)
+        if serial_records is not None and records != serial_records:
+            raise SimulationError("serial sweep records changed on repeat")
+        serial_records = records
+
+    process_runner = SweepRunner(
+        backend="process",
+        workers=resolved_workers,
+        pool=shared_pool(resolved_workers),
+    )
+    process_wall = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        process_records = process_runner.run(grid)
+        process_wall = min(process_wall, time.perf_counter() - start)
+        if serial_records != process_records:
+            raise SimulationError(
+                "process-backend sweep records diverged from the serial backend"
+            )
     return {
         "points": len(grid),
         "transactions": transactions,
-        "workers": workers if workers is not None else default_workers(len(grid)),
+        "workers": resolved_workers,
+        "repeats": repeats,
         "serial_wall_seconds": round(serial_wall, 6),
         "process_wall_seconds": round(process_wall, 6),
         "process_over_serial": round(serial_wall / process_wall, 3),
@@ -157,36 +196,51 @@ def run_speed_suite(
     repeats_rtl: int = 3,
     include_trafficgen: bool = True,
     include_sweep: bool = True,
+    models: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """Run the §4 speed suite; returns one measurement block.
 
     Best-of-N timing per model (platform construction untimed), exactly
-    the methodology of :mod:`repro.analysis.speed`.  The block also
-    carries the traffic-generation items/s and serial-vs-process sweep
-    wall-time entries unless switched off.
+    the methodology of :mod:`repro.analysis.speed`.  *models* restricts
+    the measurement to a subset of :data:`MODELS` (``["rtl"]`` while
+    iterating on the pin-accurate hot path); the comparison helpers all
+    skip models a block does not carry.  The block also carries the
+    traffic-generation items/s and serial-vs-process sweep wall-time
+    entries unless switched off.
     """
-    tlm = measure_tlm(table1_pattern_a(TLM_TRANSACTIONS), repeats=repeats_tlm)
-    single = measure_tlm(
-        single_master_workload(SINGLE_MASTER_TRANSACTIONS), repeats=repeats_tlm
-    )
-    rtl = measure_rtl(table1_pattern_a(RTL_TRANSACTIONS), repeats=repeats_rtl)
-    speedup = (
-        tlm.kcycles_per_sec / rtl.kcycles_per_sec
-        if rtl.kcycles_per_sec > 0
-        else float("inf")
-    )
+    selected = tuple(models) if models is not None else MODELS
+    unknown = set(selected) - set(MODELS)
+    if unknown:
+        raise ConfigError(
+            f"unknown bench models {sorted(unknown)}; choose from {MODELS}"
+        )
+    samples: Dict[str, SpeedSample] = {}
+    for name in MODELS:
+        if name not in selected:
+            continue
+        level, make_workload = BENCH_MODEL_RUNS[name]
+        if level == "rtl":
+            samples[name] = measure_rtl(make_workload(), repeats=repeats_rtl)
+        else:
+            samples[name] = measure_tlm(make_workload(), repeats=repeats_tlm)
     block: Dict[str, object] = {
         "git_rev": git_revision(),
         "python": sys.version.split()[0],
         "host": platform.node() or "unknown",
         "measured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "models": {
-            "tlm_method": _sample_dict(tlm),
-            "tlm_single_master": _sample_dict(single),
-            "rtl": _sample_dict(rtl),
+            name: _sample_dict(sample) for name, sample in samples.items()
         },
-        "tlm_over_rtl_speedup": round(speedup, 2),
     }
+    tlm = samples.get("tlm_method")
+    rtl = samples.get("rtl")
+    if tlm is not None and rtl is not None:
+        speedup = (
+            tlm.kcycles_per_sec / rtl.kcycles_per_sec
+            if rtl.kcycles_per_sec > 0
+            else float("inf")
+        )
+        block["tlm_over_rtl_speedup"] = round(speedup, 2)
     if include_trafficgen:
         block["trafficgen"] = run_trafficgen_suite()
     if include_sweep:
@@ -211,12 +265,19 @@ def speedups_vs(block: Dict[str, object], reference: Dict[str, object]) -> Dict[
 
 
 def make_report(
-    current: Dict[str, object], seed: Optional[Dict[str, object]] = None
+    current: Dict[str, object],
+    seed: Optional[Dict[str, object]] = None,
+    history: Optional[List[Dict[str, object]]] = None,
 ) -> Dict[str, object]:
-    """Assemble the full BENCH_speed.json document."""
+    """Assemble the full BENCH_speed.json document.
+
+    *history* is the speed trajectory: one compact entry per committed
+    milestone (see :func:`history_entry`), rendered by
+    :func:`render_trajectory`.  Omitted, the report carries none.
+    """
     if seed is None:
         seed = current
-    return {
+    report = {
         "schema": SCHEMA,
         "note": (
             "Kcycles/s are host-dependent; 'seed' was measured on the "
@@ -226,6 +287,118 @@ def make_report(
         "current": current,
         "speedup_vs_seed": speedups_vs(current, seed),
     }
+    if history:
+        report["history"] = history
+    return report
+
+
+def history_entry(
+    block: Dict[str, object], label: str
+) -> Dict[str, object]:
+    """Compress a measurement block to one speed-trajectory milestone."""
+    models = block.get("models", {})  # type: ignore[union-attr]
+    return {
+        "label": label,
+        "git_rev": block.get("git_rev", "?"),
+        "measured_at": block.get("measured_at", "?"),
+        "models": {
+            name: sample["kcycles_per_sec"]
+            for name, sample in models.items()  # type: ignore[union-attr]
+        },
+    }
+
+
+def append_history(
+    report_history: Optional[List[Dict[str, object]]],
+    block: Dict[str, object],
+    label: str,
+) -> List[Dict[str, object]]:
+    """History with *block* appended; same-revision tail entries collapse."""
+    history = list(report_history or [])
+    entry = history_entry(block, label)
+    if history and history[-1].get("git_rev") == entry["git_rev"]:
+        history[-1] = entry
+    else:
+        history.append(entry)
+    return history
+
+
+def render_trajectory(report: Dict[str, object]) -> str:
+    """The speed-trajectory table: seed → committed milestones → current.
+
+    One row per milestone, one column per model (Kcycles/s) plus the
+    cumulative speedup over the seed for the models the row carries.
+    """
+    seed_block = report.get("seed", {})
+    rows: List[Dict[str, object]] = [history_entry(seed_block, "seed")]  # type: ignore[arg-type]
+    rows.extend(report.get("history", []))  # type: ignore[arg-type]
+    rows.append(history_entry(report.get("current", {}), "current"))  # type: ignore[arg-type]
+    seed_models = rows[0]["models"]  # type: ignore[index]
+    header = f"{'milestone':<12} {'rev':<9}" + "".join(
+        f" {model:>18}" for model in MODELS
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = ""
+        row_models = row.get("models", {})  # type: ignore[union-attr]
+        for model in MODELS:
+            rate = row_models.get(model)  # type: ignore[union-attr]
+            base = seed_models.get(model)  # type: ignore[union-attr]
+            if rate is None:
+                cells += f" {'-':>18}"
+            elif base:
+                cells += f" {rate:>10.1f} ({rate / base:>4.2f}x)"
+            else:
+                cells += f" {rate:>18.1f}"
+        lines.append(
+            f"{str(row.get('label', '?')):<12} "
+            f"{str(row.get('git_rev', '?')):<9}{cells}"
+        )
+    return "\n".join(lines)
+
+
+def render_delta_table(
+    fresh: Dict[str, object],
+    baseline: Dict[str, object],
+    threshold: float = 0.20,
+) -> str:
+    """Readable per-model delta table for the regression gate.
+
+    One row per model: baseline vs fresh Kcycles/s, the relative delta,
+    the simulated-cycle determinism check, and a verdict column (``ok``
+    / ``FAIL``; speed deltas on a different host grade as ``n/a``).
+    """
+    base_block = baseline.get("current", baseline)
+    base_models = base_block.get("models", {})  # type: ignore[union-attr]
+    fresh_models = fresh.get("models", {})  # type: ignore[union-attr]
+    gradable = same_host(fresh, baseline)
+    header = (
+        f"{'model':<20} {'baseline':>10} {'current':>10} {'delta':>8} "
+        f"{'cycles':>8} {'verdict':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for model in MODELS:
+        base = base_models.get(model)  # type: ignore[union-attr]
+        mine = fresh_models.get(model)  # type: ignore[union-attr]
+        if not base or not mine:
+            continue
+        delta = mine["kcycles_per_sec"] / base["kcycles_per_sec"] - 1.0
+        cycles_ok = mine["simulated_cycles"] == base["simulated_cycles"]
+        if not cycles_ok:
+            verdict = "FAIL"
+            cycles = "DRIFT"
+        elif not gradable:
+            verdict = "n/a"
+            cycles = "ok"
+        else:
+            verdict = "ok" if delta >= -threshold else "FAIL"
+            cycles = "ok"
+        lines.append(
+            f"{model:<20} {base['kcycles_per_sec']:>10.1f} "
+            f"{mine['kcycles_per_sec']:>10.1f} {delta:>+7.1%} "
+            f"{cycles:>8} {verdict:>8}"
+        )
+    return "\n".join(lines)
 
 
 def write_report(path: Path, report: Dict[str, object]) -> None:

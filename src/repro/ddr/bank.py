@@ -80,6 +80,26 @@ class BankFsm:
             BankState.ACTIVATING,
         )
 
+    @property
+    def ticking(self) -> bool:
+        """Some timer is still running: :meth:`tick` would change state.
+
+        Owned here (next to the timers) so callers that elide per-cycle
+        ``tick()`` calls stay in sync if the FSM ever grows another
+        timer.
+        """
+        return bool(self._timer or self._ras_timer or self._wr_timer)
+
+    @property
+    def quiescent(self) -> bool:
+        """No timer is running: :meth:`tick` is a guaranteed no-op.
+
+        The quiescence condition the RTL DDRC uses before letting the
+        cycle engine skip its update — an idle or steadily-active bank
+        whose tRCD/tRP/tRFC, tRAS and tWR counters have all drained.
+        """
+        return not self.ticking and not self.busy
+
     # -- commands -----------------------------------------------------------------
 
     def activate(self, row: int) -> None:
@@ -128,10 +148,23 @@ class BankFsm:
     def note_write_beat(self) -> None:
         """Re-arm write recovery from a write data beat.
 
-        tWR counts from the *last* write datum, so the RTL controller
-        re-arms this timer on every beat of a write burst.
+        tWR counts from the *last* write datum, so the per-beat RTL
+        controller re-arms this timer on every beat of a write burst.
         """
         self._wr_timer = self.timing.t_wr
+
+    def arm_write_recovery(self, cycles: int) -> None:
+        """Analytic form of per-beat :meth:`note_write_beat` re-arming.
+
+        A streaming controller knows a write segment's final data beat
+        at CAS time, so it loads the recovery timer once with ``t_wr``
+        plus the cycles until that beat.  The timer then drains to the
+        exact value the per-beat re-arm sequence would leave — nothing
+        may observe this bank's :meth:`can_precharge` mid-burst (its
+        segment owns the data path and refresh is held off), which the
+        streamed-vs-per-beat trace-equality tests pin down.
+        """
+        self._wr_timer = cycles
 
     # -- time ------------------------------------------------------------------------
 

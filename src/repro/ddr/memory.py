@@ -18,7 +18,7 @@ match the original byte-only store exactly.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.errors import MemoryError_
 
@@ -104,6 +104,55 @@ class MemoryModel:
                 base = word_index << 2
                 for i in range(_WORD):
                     store[base + i] = (word >> (8 * i)) & 0xFF
+
+    # -- burst-segment fast paths ----------------------------------------------
+
+    def read_beats(self, addrs: Sequence[int], size_bytes: int) -> List[int]:
+        """Load one value per beat address — a burst segment in one call.
+
+        Semantics (values, zero-for-unwritten, ``read_ops`` accounting)
+        are identical to calling :meth:`read` per beat; the aligned-word
+        burst with no byte-store residue runs as a single dict-probe
+        loop, which is how the RTL DDRC prefetches a read segment.
+        """
+        if size_bytes == _WORD and not self._bytes:
+            words = self._words
+            values: List[int] = []
+            append = values.append
+            for addr in addrs:
+                if addr < 0 or addr & 3:
+                    break
+                append(words.get(addr >> 2, 0))
+            else:
+                self.read_ops += len(values)
+                return values
+        return [self.read(addr, size_bytes) for addr in addrs]
+
+    def write_beats(
+        self, addrs: Sequence[int], size_bytes: int, values: Sequence[int]
+    ) -> None:
+        """Store one value per beat address — a burst segment in one call.
+
+        Mirrors per-beat :meth:`write` exactly (validation, byte-residue
+        eviction, ``write_ops``); aligned-word bursts against a clean
+        byte store take the single-loop fast path the RTL DDRC uses to
+        flush a captured write segment.
+        """
+        if size_bytes == _WORD and not self._bytes:
+            words = self._words
+            done = 0
+            for addr, value in zip(addrs, values):
+                if addr < 0 or addr & 3 or value < 0 or value >> 32:
+                    break
+                words[addr >> 2] = value
+                done += 1
+            self.write_ops += done
+            if done == len(addrs):
+                return
+            addrs = addrs[done:]
+            values = values[done:]
+        for addr, value in zip(addrs, values):
+            self.write(addr, size_bytes, value)
 
     # -- whole-image views ------------------------------------------------------
 

@@ -49,6 +49,11 @@ class ScheduledCommand:
     access: Optional[PendingAccess] = None
 
 
+#: Shared NOP decision — callers treat decisions as read-only and NOP is
+#: by far the most common outcome, so one instance serves every cycle.
+_NOP = ScheduledCommand(DdrCommand.NOP)
+
+
 class CommandScheduler:
     """One-command-per-cycle scheduler over the bank FSMs."""
 
@@ -79,6 +84,20 @@ class CommandScheduler:
     def depth(self) -> int:
         return len(self.queue)
 
+    def quiescent(self) -> bool:
+        """:meth:`tick` is a guaranteed no-op (no timer anywhere runs).
+
+        Part of the DDRC's idle declaration to the cycle engine: with an
+        empty queue, quiescent banks and no tRRD window open, skipping
+        whole cycles cannot lose a state transition.
+        """
+        if self._rrd_timer:
+            return False
+        for bank in self.banks:
+            if not bank.quiescent:
+                return False
+        return True
+
     # -- per-cycle decision ------------------------------------------------------
 
     def decide(
@@ -99,9 +118,11 @@ class CommandScheduler:
             # While a refresh is owed, no new row/column work may start;
             # the controller drains every bank toward IDLE and refreshes.
             cmd = self._refresh_step()
-            return cmd if cmd is not None else ScheduledCommand(DdrCommand.NOP)
+            return cmd if cmd is not None else _NOP
+        if not self.queue:
+            return _NOP
         # Priority 0: column access for the head of the queue.
-        if self.queue and data_path_free:
+        if data_path_free:
             head = self.queue[0]
             bank = self.banks[head.baddr.bank]
             if not head.cas_issued and bank.can_cas(head.baddr.row):
@@ -123,7 +144,7 @@ class CommandScheduler:
                 and bank.can_precharge()
             ):
                 return self._issue(DdrCommand.PRECHARGE, access.baddr.bank, access)
-        return ScheduledCommand(DdrCommand.NOP)
+        return _NOP
 
     def _issue(
         self, command: DdrCommand, bank_index: int, access: Optional[PendingAccess]

@@ -27,6 +27,7 @@ from repro.exec.runner import (
     SweepRunner,
     default_workers,
     run_grid,
+    shared_pool,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "SweepRunner",
     "default_workers",
     "run_grid",
+    "shared_pool",
 ]

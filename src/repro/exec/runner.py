@@ -27,6 +27,7 @@ only ``run()``; counters are checked identical across repeats.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import time
@@ -50,6 +51,38 @@ def default_workers(grid_size: Optional[int] = None) -> int:
     if grid_size is None:
         return cpus
     return max(1, min(cpus, grid_size))
+
+
+#: Lazily created pools keyed by worker count, reused across runs.
+_SHARED_POOLS: Dict[int, "multiprocessing.pool.Pool"] = {}
+
+
+def _close_shared_pools() -> None:
+    """Terminate every cached pool (registered atexit; callable in tests)."""
+    for pool in _SHARED_POOLS.values():
+        pool.terminate()
+        pool.join()
+    _SHARED_POOLS.clear()
+
+
+def shared_pool(workers: Optional[int] = None) -> "multiprocessing.pool.Pool":
+    """A process pool reused across :class:`SweepRunner` invocations.
+
+    Pool start-up (fork + interpreter bookkeeping per worker) dominates
+    small sweeps — on a 1-CPU host it single-handedly made the process
+    backend slower than serial.  Callers that run many grids (benchmark
+    repeats, experiment batteries) share one pool per worker count; the
+    pools are torn down atexit.  Pass the pool to
+    ``SweepRunner(backend="process", pool=shared_pool(n))``.
+    """
+    count = workers if workers is not None else default_workers()
+    pool = _SHARED_POOLS.get(count)
+    if pool is None:
+        if not _SHARED_POOLS:
+            atexit.register(_close_shared_pools)
+        pool = multiprocessing.Pool(processes=count)
+        _SHARED_POOLS[count] = pool
+    return pool
 
 
 @dataclass(frozen=True)
@@ -101,7 +134,11 @@ class SweepRunner:
         workers: Optional[int] = None,
         chunksize: Optional[int] = None,
         repeats: int = 1,
+        pool: Optional["multiprocessing.pool.Pool"] = None,
     ) -> None:
+        """``pool`` lends the process backend an externally owned pool
+        (see :func:`shared_pool`): the runner maps over it but never
+        closes it, so repeated runs skip the per-run fork cost."""
         if backend not in BACKENDS:
             raise ConfigError(
                 f"unknown sweep backend {backend!r}; choose from {BACKENDS}"
@@ -112,14 +149,21 @@ class SweepRunner:
             raise ConfigError(f"chunksize must be positive, got {chunksize}")
         if repeats < 1:
             raise ConfigError(f"repeats must be positive, got {repeats}")
+        if pool is not None and backend != "process":
+            raise ConfigError("pool= only applies to the process backend")
         self.backend = backend
         self.workers = workers
         self.chunksize = chunksize
         self.repeats = repeats
+        self.pool = pool
 
     def _chunksize(self, jobs: int, workers: int) -> int:
         if self.chunksize is not None:
             return self.chunksize
+        if workers == 1:
+            # One worker gains nothing from small tasks — ship the whole
+            # grid in a single dispatch and pay IPC once.
+            return jobs
         # Small grids: one point per task keeps all workers busy;
         # large grids: ~4 tasks per worker amortises pool dispatch.
         return max(1, jobs // (workers * 4))
@@ -162,12 +206,13 @@ class SweepRunner:
             if self.workers is not None
             else default_workers(len(jobs))
         )
+        chunksize = self._chunksize(len(jobs), workers)
         # Pool.map preserves input order, so the merge is deterministic
         # no matter which worker finished first.
+        if self.pool is not None:
+            return self.pool.map(_execute, jobs, chunksize=chunksize)
         with multiprocessing.Pool(processes=workers) as pool:
-            return pool.map(
-                _execute, jobs, chunksize=self._chunksize(len(jobs), workers)
-            )
+            return pool.map(_execute, jobs, chunksize=chunksize)
 
 
 def run_grid(

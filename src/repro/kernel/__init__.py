@@ -12,7 +12,13 @@ of :mod:`repro.kernel.events` and :mod:`repro.kernel.cycle`.
 """
 
 from repro.kernel.clock import Clock
-from repro.kernel.cycle import CombHandle, CycleEngine, MAX_SETTLE_ITERATIONS
+from repro.kernel.cycle import (
+    CombHandle,
+    CycleEngine,
+    MAX_SETTLE_ITERATIONS,
+    NULL_SEQ_HANDLE,
+    SeqHandle,
+)
 from repro.kernel.events import Event, EventQueue
 from repro.kernel.process import (
     MethodProcess,
@@ -37,6 +43,8 @@ __all__ = [
     "EventQueue",
     "MAX_SETTLE_ITERATIONS",
     "MethodProcess",
+    "NULL_SEQ_HANDLE",
+    "SeqHandle",
     "RepeatingTask",
     "Signal",
     "SignalBundle",

@@ -35,10 +35,36 @@ convention (and verified by the RTL equivalence tests):
   the next evaluate phase re-runs the process even though no signal
   changed.
 
+Sequential quiescence and cycle skip-ahead
+------------------------------------------
+Sequential processes have the mirror-image discipline:
+:meth:`add_sequential` returns a :class:`SeqHandle`, and a component
+whose ``update()`` has become a guaranteed no-op may declare itself
+idle — ``handle.idle()`` (until an input edge re-arms it) or
+``handle.idle(until=cycle)`` (a scheduled self-wake, e.g. a master's
+think-time expiry or the DDRC's refresh deadline).  Idle handles are
+skipped by :meth:`CycleEngine.step`; they re-arm when their wake cycle
+arrives, when another component calls :meth:`SeqHandle.wake`, or when
+one of the signals named in ``add_sequential(..., wake_on=[...])``
+changes value.  The obligation mirrors the combinational ``touch``
+contract: while idle, the reference engine running the process every
+cycle would neither change component state (beyond what the component
+re-accounts on wake) nor drive any signal to a new value.
+
+When *every* sequential handle is idle and no combinational work is
+pending, :meth:`CycleEngine.run`/:meth:`run_until` **skip ahead**: the
+cycle counter advances analytically to the earliest scheduled wake
+instead of spinning through no-op cycles.  Cycle hooks still fire for
+every skipped cycle (so VCD sampling and protocol checkers observe an
+identical cycle sequence — no signal changes during a skipped region,
+so change-based tracers emit nothing); hooks must therefore not mutate
+simulation state.
+
 Commit semantics are untouched: the engine observes the same settled
 values, commits registered drives simultaneously, and produces
 cycle-identical traces to the full sweep (pass ``sensitivity=False`` to
-get the original sweep-everything behaviour for cross-checks).
+get the original sweep-everything behaviour — it disables quiescence
+and skip-ahead too, restoring the reference per-cycle sweep).
 """
 
 from __future__ import annotations
@@ -64,16 +90,79 @@ class CombHandle:
     code that mutates state the process reads must call :meth:`touch`.
     """
 
-    __slots__ = ("fn", "dirty", "static")
+    __slots__ = ("fn", "dirty", "static", "engine")
 
-    def __init__(self, fn: CombProcess, static: bool) -> None:
+    def __init__(
+        self,
+        fn: CombProcess,
+        static: bool,
+        engine: Optional["CycleEngine"] = None,
+    ) -> None:
         self.fn = fn
         self.static = static
         self.dirty = True
+        self.engine = engine
 
     def touch(self) -> None:
         """Force re-evaluation in the next settle pass."""
         self.dirty = True
+        engine = self.engine
+        if engine is not None:
+            engine._comb_pending = True
+
+
+class SeqHandle:
+    """Registration handle for one sequential process.
+
+    Components use it to declare quiescence: :meth:`idle` marks the
+    process skippable (optionally until a scheduled wake cycle) and
+    :meth:`wake` re-arms it.  See the module docstring for the no-op
+    obligation an idle declaration carries.
+    """
+
+    __slots__ = ("fn", "active", "wake_at", "_engine")
+
+    def __init__(self, fn: SeqProcess, engine: "CycleEngine") -> None:
+        self.fn = fn
+        self._engine = engine
+        self.active = True
+        #: Cycle at which the engine re-arms the handle by itself, or
+        #: ``None`` for event-only wake (an input edge / explicit wake).
+        self.wake_at: Optional[int] = None
+
+    def idle(self, until: Optional[int] = None) -> None:
+        """Declare the process a no-op until *until* (or an input edge)."""
+        if self.active:
+            self.active = False
+            self._engine._active_seq -= 1
+        self.wake_at = until
+
+    def wake(self) -> None:
+        """Re-arm the process (no-op when it is already active)."""
+        if not self.active:
+            self.active = True
+            self.wake_at = None
+            self._engine._active_seq += 1
+
+
+class _NullSeqHandle:
+    """Stand-in handle for components not driven by a cycle engine.
+
+    Unit tests construct RTL components and call ``update()`` directly;
+    their quiescence self-assessment then lands here and does nothing.
+    """
+
+    __slots__ = ()
+
+    def idle(self, until: Optional[int] = None) -> None:  # noqa: ARG002
+        pass
+
+    def wake(self) -> None:
+        pass
+
+
+#: Shared no-op handle (stateless, so one instance serves everyone).
+NULL_SEQ_HANDLE = _NullSeqHandle()
 
 
 class CycleEngine:
@@ -91,17 +180,35 @@ class CycleEngine:
         are skipped while their inputs are unchanged.  When false the
         engine sweeps every process every pass — the original reference
         behaviour, kept for equivalence testing.
+    quiescence:
+        When true, idle-declared sequential processes are skipped and
+        :meth:`run`/:meth:`run_until` may skip ahead over fully idle
+        cycle ranges.  Defaults to *sensitivity*, so ``full_sweep``
+        platforms get the reference per-cycle sweep on both phases.
     """
 
-    def __init__(self, name: str = "cycle-engine", sensitivity: bool = True) -> None:
+    def __init__(
+        self,
+        name: str = "cycle-engine",
+        sensitivity: bool = True,
+        quiescence: Optional[bool] = None,
+    ) -> None:
         self.name = name
         self._comb: List[CombHandle] = []
-        self._seq: List[SeqProcess] = []
+        self._seq: List[SeqHandle] = []
         self._signals: List[Signal] = []
-        self._cycle = 0
+        self.cycle = 0
         self._eval_passes = 0
         self._on_cycle_end: List[Callable[[int], None]] = []
         self._sensitivity = sensitivity
+        self._quiescence = sensitivity if quiescence is None else quiescence
+        #: Number of currently active (non-idle) sequential handles.
+        self._active_seq = 0
+        self._seq_total = 0
+        #: A static combinational process forbids skip-ahead: it runs
+        #: every pass, so an "idle" cycle could still change signals.
+        self._has_static_comb = False
+        self.cycles_skipped = 0
         #: signal -> dependent combinational handles (shared with the
         #: watcher closures, so late registrations extend them in place).
         #: Keyed by the Signal object (identity hash), which also keeps
@@ -114,6 +221,11 @@ class CycleEngine:
         self._pending_commits: List[Signal] = []
         #: True when any *registered* signal changed in the current pass.
         self._pass_changed = False
+        #: True while any combinational handle may be dirty — raised by
+        #: every dirty-marking path (watchers, touch, registration) and
+        #: lowered per settle pass, so a fully clean settle is one flag
+        #: test instead of an O(netlist) sweep.
+        self._comb_pending = True
 
     # -- registration ---------------------------------------------------------
 
@@ -133,12 +245,14 @@ class CycleEngine:
 
                 def on_change(_sig: Signal, deps: List[CombHandle] = deps) -> None:
                     self._pass_changed = True
+                    self._comb_pending = True
                     for handle in deps:
                         handle.dirty = True
 
             else:
 
                 def on_change(_sig: Signal, deps: List[CombHandle] = deps) -> None:
+                    self._comb_pending = True
                     for handle in deps:
                         handle.dirty = True
 
@@ -165,17 +279,43 @@ class CycleEngine:
         of the listed signals changed since its last evaluation — see
         the module docstring for the purity/touch obligations.
         """
-        handle = CombHandle(process, static=sensitive_to is None)
+        handle = CombHandle(process, static=sensitive_to is None, engine=self)
         self._comb.append(handle)
+        self._comb_pending = True
         if sensitive_to is not None:
             for sig in sensitive_to:
                 self._dep_list(sig).append(handle)
                 self._attach_watcher(sig, registered=False)
+        else:
+            self._has_static_comb = True
         return handle
 
-    def add_sequential(self, process: SeqProcess) -> None:
-        """Register a sequential process (runs once per cycle, at the edge)."""
-        self._seq.append(process)
+    def add_sequential(
+        self,
+        process: SeqProcess,
+        wake_on: Optional[Sequence[Signal]] = None,
+    ) -> SeqHandle:
+        """Register a sequential process; returns its :class:`SeqHandle`.
+
+        The process runs once per cycle at the edge unless its handle
+        declares quiescence.  *wake_on* names input signals whose value
+        changes re-arm an idle handle — a change during the evaluate
+        phase re-arms it for the same cycle's update, a change during
+        the commit phase for the next cycle's (exactly when the changed
+        value becomes observable to the process).
+        """
+        handle = SeqHandle(process, self)
+        self._seq.append(handle)
+        self._active_seq += 1
+        self._seq_total += 1
+        if wake_on is not None:
+            for sig in wake_on:
+
+                def on_change(_sig: Signal, handle: SeqHandle = handle) -> None:
+                    handle.wake()
+
+                sig.watch(on_change)
+        return handle
 
     def add_signal(self, *signals: Signal) -> None:
         """Register signals so their registered drives commit at the edge."""
@@ -191,11 +331,6 @@ class CycleEngine:
     # -- state ------------------------------------------------------------------
 
     @property
-    def cycle(self) -> int:
-        """Number of completed cycles."""
-        return self._cycle
-
-    @property
     def evaluate_passes(self) -> int:
         """Total evaluate-phase passes executed (a cost/diagnostic metric)."""
         return self._eval_passes
@@ -205,15 +340,28 @@ class CycleEngine:
         """Whether sensitivity-based process skipping is active."""
         return self._sensitivity
 
+    @property
+    def quiescence_enabled(self) -> bool:
+        """Whether sequential quiescence and skip-ahead are active."""
+        return self._quiescence
+
     # -- execution ---------------------------------------------------------------
 
     def _settle(self) -> None:
         """Run combinational processes until no registered signal changes."""
         comb = self._comb
         if self._sensitivity:
+            if not self._comb_pending and not self._has_static_comb:
+                # Nothing was marked dirty since the last convergence:
+                # the pass would visit every handle and run none.
+                return
             for _iteration in range(MAX_SETTLE_ITERATIONS):
                 self._eval_passes += 1
                 self._pass_changed = False
+                # Cleared before the pass; any dirty-marking during it
+                # (watcher or touch) re-raises the flag, so a handle
+                # left dirty at convergence keeps the next settle live.
+                self._comb_pending = False
                 for handle in comb:
                     if handle.dirty or handle.static:
                         handle.dirty = False
@@ -237,7 +385,7 @@ class CycleEngine:
                     return
         raise CombinationalLoopError(
             f"{self.name}: combinational logic failed to settle in "
-            f"{MAX_SETTLE_ITERATIONS} iterations at cycle {self._cycle}"
+            f"{MAX_SETTLE_ITERATIONS} iterations at cycle {self.cycle}"
         )
 
     def _commit_pending(self) -> None:
@@ -251,27 +399,99 @@ class CycleEngine:
 
     def step(self) -> None:
         """Advance one clock cycle (evaluate, then update)."""
+        # The _settle/_commit calls are guarded here so a clean phase
+        # costs one flag test instead of a function call — this loop is
+        # the whole RTL model's per-cycle overhead.
+        settle_live = self._has_static_comb or not self._sensitivity
         # Step 1: evaluate — settle all combinational logic.
-        self._settle()
+        if settle_live or self._comb_pending:
+            self._settle()
         # Step 2: update — sequential processes sample settled inputs...
-        for process in self._seq:
-            process()
+        if self._quiescence and self._active_seq != self._seq_total:
+            cyc = self.cycle
+            for handle in self._seq:
+                if handle.active:
+                    handle.fn()
+                elif handle.wake_at is not None and handle.wake_at <= cyc:
+                    # Scheduled self-wake (think-time expiry, refresh
+                    # deadline): re-arm and run this cycle.
+                    handle.active = True
+                    handle.wake_at = None
+                    self._active_seq += 1
+                    handle.fn()
+        else:
+            for handle in self._seq:
+                handle.fn()
         # ...then registered outputs become visible, simultaneously.
-        self._commit_pending()
+        if self._pending_commits:
+            self._commit_pending()
         # New register values must propagate through combinational logic
         # before monitors sample end-of-cycle state.
-        self._settle()
-        self._cycle += 1
-        for hook in self._on_cycle_end:
-            hook(self._cycle)
+        if settle_live or self._comb_pending:
+            self._settle()
+        self.cycle += 1
+        hooks = self._on_cycle_end
+        if hooks:
+            for hook in hooks:
+                hook(self.cycle)
+
+    # -- skip-ahead --------------------------------------------------------------
+
+    def _can_skip(self) -> bool:
+        """All sequential handles idle and no combinational work pending.
+
+        ``_comb_pending`` is raised by every dirty-marking path, so a
+        lowered flag proves the next settle would run nothing.
+        """
+        return not (
+            self._has_static_comb
+            or self._pending_commits
+            or self._comb_pending
+        )
+
+    def _wake_target(self, limit: int) -> int:
+        """Earliest scheduled wake among idle handles, clamped to *limit*."""
+        target = limit
+        for handle in self._seq:
+            wake = handle.wake_at
+            if wake is not None and wake < target:
+                target = wake
+        return target
+
+    def _advance_idle(self, target: int) -> None:
+        """Jump the cycle counter to *target* without stepping.
+
+        Cycle hooks still observe every skipped cycle number (signal
+        values are provably unchanged across the region, so change-based
+        consumers like the VCD tracer emit nothing).
+        """
+        self.cycles_skipped += target - self.cycle
+        hooks = self._on_cycle_end
+        if hooks:
+            while self.cycle < target:
+                self.cycle += 1
+                for hook in hooks:
+                    hook(self.cycle)
+        else:
+            self.cycle = target
 
     def run(self, cycles: int) -> int:
-        """Advance *cycles* clock cycles; returns the new cycle count."""
+        """Advance *cycles* clock cycles; returns the new cycle count.
+
+        Fully idle cycle ranges are skipped analytically (see the module
+        docstring); the returned cycle count is identical either way.
+        """
         if cycles < 0:
             raise SimulationError(f"cannot run a negative cycle count {cycles}")
-        for _ in range(cycles):
+        end = self.cycle + cycles
+        while self.cycle < end:
+            if self._quiescence and self._active_seq == 0 and self._can_skip():
+                target = self._wake_target(end)
+                if target > self.cycle:
+                    self._advance_idle(target)
+                    continue
             self.step()
-        return self._cycle
+        return self.cycle
 
     def run_until(
         self, predicate: Callable[[], bool], max_cycles: int = 1_000_000
@@ -280,11 +500,20 @@ class CycleEngine:
 
         Raises :class:`~repro.errors.SimulationError` if the predicate is
         still false after *max_cycles* steps, so a deadlocked model fails
-        loudly instead of spinning forever.
+        loudly instead of spinning forever.  Skip-ahead assumes the
+        predicate is constant while the netlist is quiescent (true for
+        any predicate over component/signal state).
         """
-        for elapsed in range(max_cycles):
+        start = self.cycle
+        end = start + max_cycles
+        while self.cycle < end:
             if predicate():
-                return elapsed
+                return self.cycle - start
+            if self._quiescence and self._active_seq == 0 and self._can_skip():
+                target = self._wake_target(end)
+                if target > self.cycle:
+                    self._advance_idle(target)
+                    continue
             self.step()
         raise SimulationError(
             f"{self.name}: predicate not satisfied within {max_cycles} cycles"

@@ -29,7 +29,7 @@ class Signal:
     __slots__ = (
         "name",
         "width",
-        "_value",
+        "value",
         "_next",
         "_changed",
         "_watchers",
@@ -44,7 +44,11 @@ class Signal:
         self.name = name
         self.width = width
         self._mask = (1 << width) - 1
-        self._value = self._coerce(reset)
+        #: The currently visible (committed) value.  A plain attribute,
+        #: not a property: per-cycle models read signals millions of
+        #: times and the descriptor call was a measurable hot-path cost.
+        #: Treat it as read-only — writes go through drive/drive_next.
+        self.value = self._coerce(reset)
         self._next: object = _UNSET
         self._changed = False
         self._watchers: List[Callable[["Signal"], None]] = []
@@ -65,13 +69,8 @@ class Signal:
 
     # -- read ---------------------------------------------------------------
 
-    @property
-    def value(self) -> int:
-        """The currently visible (committed) value."""
-        return self._value
-
     def __bool__(self) -> bool:
-        return bool(self._value)
+        return bool(self.value)
 
     # -- combinational drive -------------------------------------------------
 
@@ -81,10 +80,14 @@ class Signal:
         Returns ``True`` when the visible value actually changed, which
         the cycle engine uses to decide whether the netlist has settled.
         """
-        coerced = self._coerce(value)
-        if coerced == self._value:
+        # Inline the exact-int coercion: this is the hottest write path.
+        if type(value) is int:
+            coerced = value & self._mask
+        else:
+            coerced = self._coerce(value)
+        if coerced == self.value:
             return False
-        self._value = coerced
+        self.value = coerced
         self._changed = True
         for watcher in self._watchers:
             watcher(self)
@@ -94,7 +97,32 @@ class Signal:
 
     def drive_next(self, value: object) -> None:
         """Schedule *value* to appear at the next :meth:`commit` (clock edge)."""
-        self._next = self._coerce(value)
+        if type(value) is int:
+            self._next = value & self._mask
+        else:
+            self._next = self._coerce(value)
+        if self._commit_hook is not None and not self._commit_queued:
+            self._commit_queued = True
+            self._commit_hook(self)
+
+    def drive_next_lazy(self, value: object) -> None:
+        """:meth:`drive_next`, eliding the no-op commit.
+
+        When nothing else is pending and the registered value equals the
+        visible one, scheduling it would only produce a commit that
+        compares equal and returns — so the schedule is skipped.  Any
+        pending value falls through to a real registered drive (the
+        later registered drive must still win the edge).  Observable
+        semantics are exactly :meth:`drive_next`'s; per-cycle FSM
+        outputs use this because they re-drive mostly-stable values.
+        """
+        if type(value) is int:
+            coerced = value & self._mask
+        else:
+            coerced = self._coerce(value)
+        if coerced == self.value and self._next is _UNSET:
+            return
+        self._next = coerced
         if self._commit_hook is not None and not self._commit_queued:
             self._commit_queued = True
             self._commit_hook(self)
@@ -122,9 +150,9 @@ class Signal:
         pending = self._next
         self._next = _UNSET
         assert isinstance(pending, int)
-        if pending == self._value:
+        if pending == self.value:
             return False
-        self._value = pending
+        self.value = pending
         self._changed = True
         for watcher in self._watchers:
             watcher(self)
@@ -143,7 +171,7 @@ class Signal:
         self._watchers.append(callback)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Signal({self.name!r}, width={self.width}, value={self._value:#x})"
+        return f"Signal({self.name!r}, width={self.width}, value={self.value:#x})"
 
 
 class SignalBundle:

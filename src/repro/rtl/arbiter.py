@@ -30,7 +30,7 @@ from repro.core.config import AhbPlusConfig
 from repro.core.filters import ArbitrationContext, Candidate
 from repro.core.qos import QosRegisterFile
 from repro.core.write_buffer import WriteBuffer
-from repro.kernel.cycle import CycleEngine
+from repro.kernel.cycle import CycleEngine, NULL_SEQ_HANDLE
 from repro.rtl.master import MasterRtl, MasterState
 from repro.rtl.signals import BiSignals, MasterSignals, SharedBusSignals
 from repro.rtl.write_buffer import BufferMasterRtl
@@ -68,6 +68,12 @@ class ArbiterRtl:
             self.decision.set_filter_enabled(name, False)
         self._idle_grantee: Optional[int] = None  # owner index awaiting start
         self._locked_next = True  # no lock allowed until a transfer begins
+        #: Quiescence handle, bound by the platform builder.  The
+        #: arbiter sleeps only when the bus is silent and no request is
+        #: in hand; a rising HBUSREQ (the builder's wake list) re-arms
+        #: it in the same cycle the reference arbiter would first see
+        #: the candidate.
+        self.seq = NULL_SEQ_HANDLE
         self.grants_issued = 0
         self.pipelined_grants = 0
         self.bi_next_info = 0
@@ -123,9 +129,11 @@ class ArbiterRtl:
         return cand.txn.master
 
     def _drive_grants(self, winner_index: Optional[int]) -> None:
+        # Lazy drives: all but the winner (and the previous winner) are
+        # re-registering an unchanged 0 — eliding those no-op commits.
         for master in self.masters:
-            master.sig.hgrant.drive_next(master.index == winner_index)
-        self.buffer_master.sig.hgrant.drive_next(
+            master.sig.hgrant.drive_next_lazy(master.index == winner_index)
+        self.buffer_master.sig.hgrant.drive_next_lazy(
             winner_index == self.buffer_master.index
         )
 
@@ -140,13 +148,17 @@ class ArbiterRtl:
                 self.write_buffer.absorb(txn, cycle)
                 self.masters[txn.master].absorb_current(cycle)
                 self.qos.record_completion(txn)
+                # The drain engine updates after the arbiter in the same
+                # cycle, so it sees the new head immediately (reference
+                # ordering preserved).
+                self.buffer_master.seq.wake()
 
     # -- sequential phase ----------------------------------------------------------------
 
     def update(self) -> None:
         """Arbitrate at the end of the current cycle."""
         now = self.engine.cycle
-        self.bi.next_valid.drive_next(0)
+        self.bi.next_valid.drive_next_lazy(0)  # clears last cycle's pulse
         # A NONSEQ on the shared bus means the outstanding grant was
         # consumed this cycle: a new transfer begins.
         if self.bus.htrans.value == int(HTrans.NONSEQ):
@@ -158,6 +170,27 @@ class ArbiterRtl:
             self._idle_round(now)
         else:
             self._pipeline_round(now)
+        # Quiescence self-assessment.  Idle bus: with no transfer in
+        # flight or starting, no outstanding grant and no request in
+        # hand anywhere, update() cannot do anything until a master's
+        # HBUSREQ rises — which wakes the handle through the builder's
+        # wake-on list at exactly the cycle the request becomes visible.
+        # Busy bus: once the pipelined lock is taken (or pipelining is
+        # off) the arbiter has nothing to decide until the transfer ends
+        # (ddr_busy edge) or a new address phase needs its bookkeeping
+        # (htrans edge) — both on the wake-on list.
+        if self.bus.htrans.value != int(HTrans.NONSEQ):
+            if busy:
+                if self._locked_next or not self.config.request_pipelining:
+                    self.seq.idle()
+            elif self._idle_grantee is None and not self._any_request():
+                self.seq.idle()
+
+    def _any_request(self) -> bool:
+        for master in self.masters:
+            if master.current_transaction is not None:
+                return True
+        return self.buffer_master.current_transaction is not None
 
     def _idle_round(self, now: int) -> None:
         if self._idle_grantee is not None:

@@ -8,6 +8,16 @@ one DDR command issues per cycle through the
 precharge priority), refresh interjects on its tREFI deadline, and data
 beats move one per cycle through the HRDATA/HWDATA signals.
 
+In the default *streamed* mode the per-cycle beat movement is batched
+at segment granularity: read data is prefetched in one
+:meth:`~repro.ddr.memory.MemoryModel.read_beats` call at CAS, write
+data is captured per cycle and flushed in one ``write_beats`` call at
+the segment's last beat, and write recovery is armed analytically —
+observable signal values, ``data_beats`` counting and BI preparation
+matching stay bit-identical to the per-beat reference
+(``streaming=False``, which ``full_sweep`` platforms select for the
+trace-equality tests).
+
 The controller also terminates the AHB+ Bus Interface: prepared
 next-transaction info arrives over the ``BI_*`` signals and is enqueued
 so the scheduler can open the target row while the current burst still
@@ -21,20 +31,24 @@ from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Tuple, Union
 
 from repro.ahb.burst import beat_addresses
-from repro.ahb.types import HBurst
+from repro.ahb.types import HBurst, HTrans
 from repro.ddr.bank import BankFsm, BankState
 from repro.ddr.commands import BankAddress, DdrCommand, decode_address
 from repro.ddr.memory import MemoryModel
 from repro.ddr.scheduler import CommandScheduler, PendingAccess, ScheduledCommand
 from repro.ddr.timing import DdrTiming
 from repro.errors import SimulationError
-from repro.kernel.cycle import CycleEngine
+from repro.kernel.cycle import CycleEngine, NULL_SEQ_HANDLE
 from repro.rtl.signals import (
     BiSignals,
     NO_OWNER,
     SharedBusSignals,
     SlaveResponseSignals,
 )
+
+#: Hoisted HTrans.NONSEQ encoding (enum attribute lookups cost on the
+#: per-cycle guards; grep-friendly single definition).
+_NONSEQ = int(HTrans.NONSEQ)
 
 _UID = 0
 
@@ -78,12 +92,22 @@ class RtlAccess:
 
 @dataclass
 class _Stream:
-    """Data-beat streaming state for one segment."""
+    """Data-beat streaming state for one segment.
+
+    In streamed mode the memory traffic is batched at the segment
+    boundaries: ``rdata`` holds the whole segment's read data prefetched
+    at CAS time (the burst owns the data path, so memory cannot change
+    under it) and ``wdata`` accumulates the per-cycle HWDATA values for
+    one bulk write when the segment's last beat lands.  Per-cycle work
+    shrinks to signal driving and counter bumps.
+    """
 
     access: RtlAccess
     segment: RtlSegment
     data_start: int
     beats_done: int = 0
+    rdata: Optional[List[int]] = None
+    wdata: Optional[List[int]] = None
 
     @property
     def length(self) -> int:
@@ -108,6 +132,7 @@ class DdrcRtl:
         refresh_enabled: bool = True,
         out: Optional[SlaveResponseSignals] = None,
         accepts: Optional[Callable[[int], bool]] = None,
+        streaming: bool = True,
     ) -> None:
         """``out``/``accepts`` adapt the controller to a multi-slave fabric.
 
@@ -118,6 +143,11 @@ class DdrcRtl:
         response bundle (combined onto the bus by the response mux) and
         ``accepts`` is the address-decoder predicate for its region —
         address phases and BI announcements outside it are ignored.
+
+        ``streaming`` selects batched beat processing (memory touched
+        once per segment, write recovery armed analytically at CAS);
+        ``False`` keeps the reference per-beat path, which the
+        trace-equality tests run against the streamed default.
         """
         self.bus = bus
         self.bi = bi
@@ -130,18 +160,33 @@ class DdrcRtl:
         self.bus_bytes = bus_bytes
         self.memory = memory if memory is not None else MemoryModel("ddrc.mem")
         self.refresh_enabled = refresh_enabled
+        self.streaming = streaming
         self.banks = [BankFsm(i, timing) for i in range(timing.num_banks)]
         self.scheduler = CommandScheduler(timing, self.banks)
         self.queue: List[RtlAccess] = []
         self._stream: Optional[_Stream] = None
         self._refresh_counter = timing.t_refi
         self._refresh_pending = False
+        #: Quiescence handle, bound by the platform builder; the refresh
+        #: countdown is delta-accounted so skipped idle cycles are
+        #: charged in one subtraction on wake.
+        self.seq = NULL_SEQ_HANDLE
+        self._last_update_cycle = -1
+        #: Accesses whose address phase has been taken (drives the
+        #: bus_available/ddr_busy outputs without a per-cycle queue scan).
+        self._bus_started = 0
+        #: Cached idle-bank map; recomputed only while bank states can
+        #: still move (a command issued, or a transition in flight).
+        self._idle_map = (1 << timing.num_banks) - 1
+        self._bank_activity = True
         # Statistics (mirror the TLM controller's counters).
         self.reads = 0
         self.writes = 0
         self.refreshes = 0
         self.data_beats = 0
         self.prepared_banks = 0
+        #: Bursts split into several bank/row segments (BI-split stats).
+        self.split_bursts = 0
 
     # -- BI status for the arbiter's bank filter -------------------------------
 
@@ -181,6 +226,8 @@ class DdrcRtl:
             else:
                 current = (baddr, [beat_addr])
                 groups.append(current)
+        if len(groups) > 1:
+            self.split_bursts += 1
         for baddr, group_addrs in groups:
             segment = RtlSegment(
                 baddr=baddr,
@@ -208,13 +255,28 @@ class DdrcRtl:
 
     def update(self) -> None:
         now = self.engine.cycle
-        self._process_beat(now)
+        # Idle cycles the quiescence machinery skipped are charged to
+        # the refresh countdown in one go — the only per-cycle state a
+        # quiescent controller evolves.
+        delta = now - self._last_update_cycle
+        self._last_update_cycle = now
+        if self._stream is not None:
+            self._process_beat(now)
         # BI info is consumed before the address phase so a next-info
         # pulse and its own address phase landing in the same cycle pair
-        # up instead of creating a stale duplicate.
-        self._accept_bi_next(now)
-        self._accept_address_phase(now)
-        self._tick_refresh()
+        # up instead of creating a stale duplicate.  (The guards mirror
+        # the helpers' own first-line early exits; hoisting them elides
+        # the calls on the hot per-cycle path.)
+        if self.bi.next_valid.value:
+            self._accept_bi_next(now)
+        if self.bus.htrans.value == _NONSEQ:
+            self._accept_address_phase(now)
+        # Refresh tick, inlined from the former _tick_refresh (once per
+        # cycle on the hottest sequential path).
+        if self.refresh_enabled:
+            self._refresh_counter -= delta
+            if self._refresh_counter <= 0:
+                self._refresh_pending = True
         # Banks tick before the scheduler decides, so a transition that
         # completes this cycle can be followed by its dependent command
         # immediately — keeping PRE→ACT→CAS spacing at exactly
@@ -222,6 +284,7 @@ class DdrcRtl:
         self.scheduler.tick()
         self._run_scheduler(now)
         self._drive_outputs(now)
+        self._assess_quiescence(now)
 
     # -- step 1: move this cycle's data beat -----------------------------------------
 
@@ -230,6 +293,22 @@ class DdrcRtl:
         if stream is None or now < stream.data_start:
             return
         if stream.beats_done >= stream.length:
+            return
+        if self.streaming:
+            # Batched path: capture write data (memory flushed in bulk
+            # at the segment's last beat; reads were prefetched at CAS).
+            if stream.wdata is not None:
+                stream.wdata.append(self.bus.hwdata.value)
+            self.data_beats += 1
+            stream.beats_done += 1
+            if stream.beats_done >= stream.length:
+                if stream.wdata is not None:
+                    self.memory.write_beats(
+                        stream.segment.addrs,
+                        stream.access.size_bytes,
+                        stream.wdata,
+                    )
+                self._finish_segment(stream)
             return
         beat_addr = stream.segment.addrs[stream.beats_done]
         if stream.access.is_write:
@@ -241,22 +320,27 @@ class DdrcRtl:
         self.data_beats += 1
         stream.beats_done += 1
         if stream.beats_done >= stream.length:
-            retired = self.scheduler.retire_head()
-            if retired is not stream.segment:
-                raise SimulationError("DDRC retired an unexpected segment")
-            stream.access.segments_done += 1
-            if stream.access.complete:
-                if stream.access.is_write:
-                    self.writes += 1
-                else:
-                    self.reads += 1
-                self.queue.remove(stream.access)
-            self._stream = None
+            self._finish_segment(stream)
+
+    def _finish_segment(self, stream: _Stream) -> None:
+        """Retire the streamed segment and close out a finished access."""
+        retired = self.scheduler.retire_head()
+        if retired is not stream.segment:
+            raise SimulationError("DDRC retired an unexpected segment")
+        stream.access.segments_done += 1
+        if stream.access.complete:
+            if stream.access.is_write:
+                self.writes += 1
+            else:
+                self.reads += 1
+            self.queue.remove(stream.access)
+            self._bus_started -= 1
+        self._stream = None
 
     # -- step 2: accept a new address phase --------------------------------------------
 
     def _accept_address_phase(self, now: int) -> None:
-        if self.bus.htrans.value != 0b10:  # HTrans.NONSEQ
+        if self.bus.htrans.value != _NONSEQ:
             return
         addr = self.bus.haddr.value
         if self.accepts is not None and not self.accepts(addr):
@@ -272,6 +356,7 @@ class DdrcRtl:
             ):
                 access.bus_started = True
                 access.owner = owner
+                self._bus_started += 1
                 return
         # No matching preparation (BI off, or idle-path grant): drop any
         # stale preparation and enqueue fresh.
@@ -281,6 +366,7 @@ class DdrcRtl:
         )
         access.bus_started = True
         access.owner = owner
+        self._bus_started += 1
 
     # -- step 3: consume BI next-transaction info ----------------------------------------
 
@@ -303,16 +389,7 @@ class DdrcRtl:
         access.prepared = True
         self.prepared_banks += 1
 
-    # -- step 4: refresh deadline ----------------------------------------------------------
-
-    def _tick_refresh(self) -> None:
-        if not self.refresh_enabled:
-            return
-        self._refresh_counter -= 1
-        if self._refresh_counter <= 0:
-            self._refresh_pending = True
-
-    # -- step 5: one DDR command per cycle ----------------------------------------------------
+    # -- step 4: one DDR command per cycle ----------------------------------------------------
 
     def _head_cas_allowed(self) -> bool:
         """CAS may issue only for a bus-started head with a free data path."""
@@ -346,15 +423,36 @@ class DdrcRtl:
                 else self.timing.cas_latency
             )
             # The command occupies the next cycle; data follows latency.
-            self._stream = _Stream(
+            stream = _Stream(
                 access=segment.access,
                 segment=segment,
                 data_start=now + 1 + latency,
             )
+            if self.streaming:
+                if segment.is_write:
+                    stream.wdata = []
+                    # Per-beat tWR re-arming collapsed to one load: the
+                    # timer drains to exactly the per-beat value by the
+                    # segment's last data beat (t_wr - 1 after its tick;
+                    # shorter loads clamp at zero the same way).
+                    self.banks[segment.baddr.bank].arm_write_recovery(
+                        self.timing.t_wr + latency + segment.beats - 1
+                    )
+                else:
+                    # The burst owns the data path until it completes,
+                    # so the whole segment's read data is fetch-stable.
+                    stream.rdata = self.memory.read_beats(
+                        segment.addrs, segment.access.size_bytes
+                    )
+            self._stream = stream
         elif decision.command is DdrCommand.REFRESH:
             self._refresh_pending = False
             self._refresh_counter += self.timing.t_refi
             self.refreshes += 1
+        if decision.command is not DdrCommand.NOP:
+            # Bank states may move: re-derive the idle map until every
+            # transitional state has resolved.
+            self._bank_activity = True
 
     # -- step 6: registered outputs for the next cycle ------------------------------------------
 
@@ -367,44 +465,103 @@ class DdrcRtl:
         )
 
     def _drive_outputs(self, now: int) -> None:
+        """Register next-cycle outputs.
+
+        All drives are lazy (:meth:`~repro.kernel.signal.Signal.
+        drive_next_lazy`): the FSM re-derives mostly-stable values every
+        cycle, and eliding the equal-value commits removes most of the
+        model's registered-drive traffic.  Values are identical to the
+        reference per-beat model — pinned by the VCD equality tests.
+        """
         out = self.out  # shared bus (single slave) or private response bundle
         stream = self._stream
-        if self._beat_next_cycle():
-            assert stream is not None
-            out.hready.drive_next(1)
-            out.stream_owner.drive_next(stream.access.owner)
-            if not stream.access.is_write:
-                beat_addr = stream.segment.addrs[stream.beats_done]
-                out.hrdata.drive_next(
-                    self.memory.read(beat_addr, stream.access.size_bytes)
-                )
-        else:
-            out.hready.drive_next(0)
-            out.stream_owner.drive_next(NO_OWNER)
-        started = [a for a in self.queue if a.bus_started]
-        final_beat_next = (
-            stream is not None
-            and self._beat_next_cycle()
-            and stream.is_last_segment
-            and stream.length - stream.beats_done == 1
-        )
-        available = not started or (len(started) == 1 and final_beat_next)
-        out.bus_available.drive_next(available)
-        out.ddr_busy.drive_next(bool(started))
+        nxt = now + 1
+        final_beat_next = False
+        hready = 0
+        owner = NO_OWNER
+        remaining = 0
+        if stream is not None:
+            # _process_beat ran first, so a surviving stream always has
+            # beats left; only the data-phase start gates the beat.
+            if nxt >= stream.data_start:
+                hready = 1
+                owner = stream.access.owner
+                if not stream.access.is_write:
+                    rdata = stream.rdata
+                    out.hrdata.drive_next_lazy(
+                        rdata[stream.beats_done]
+                        if rdata is not None
+                        else self.memory.read(
+                            stream.segment.addrs[stream.beats_done],
+                            stream.access.size_bytes,
+                        )
+                    )
+                if stream.is_last_segment:
+                    remaining = stream.length - stream.beats_done
+                    final_beat_next = remaining == 1
+            # Data phase not entered yet: hready/owner/remaining keep
+            # their idle values this cycle.
+        # Hand-inlined lazy drives: these outputs re-derive mostly
+        # stable values every single cycle, so the compare happens here
+        # and drive_next only runs on an actual change.
+        if out.hready.value != hready:
+            out.hready.drive_next(hready)
+        if out.stream_owner.value != owner:
+            out.stream_owner.drive_next(owner)
+        if out.ddr_remaining.value != remaining:
+            out.ddr_remaining.drive_next(remaining)
+        started = self._bus_started
+        available = 1 if started == 0 or (started == 1 and final_beat_next) else 0
+        if out.bus_available.value != available:
+            out.bus_available.drive_next(available)
+        busy = 1 if started else 0
+        if out.ddr_busy.value != busy:
+            out.ddr_busy.drive_next(busy)
+        bi = self.bi
+        refresh_busy = 1 if self._refresh_pending else 0
+        if bi.refresh_busy.value != refresh_busy:
+            bi.refresh_busy.drive_next(refresh_busy)
+        if self._bank_activity:
+            idle_map = 0
+            activity = False
+            for bank in self.banks:
+                state = bank.state
+                if state is BankState.IDLE:
+                    idle_map |= 1 << bank.index
+                elif state is not BankState.ACTIVE:
+                    activity = True  # transitional: next tick may move it
+            self._idle_map = idle_map
+            self._bank_activity = activity
+        if bi.idle_banks.value != self._idle_map:
+            bi.idle_banks.drive_next(self._idle_map)
+
+    # -- quiescence --------------------------------------------------------------------------------
+
+    def _assess_quiescence(self, now: int) -> None:
+        """Declare the controller idle when its update is a proven no-op.
+
+        Requires: nothing queued or streaming, no refresh owed, every
+        bank/scheduler timer drained (so ``tick`` is a no-op), and no
+        input this very cycle — an address phase on the bus or a BI
+        pulse keeps the controller awake one more cycle, which also
+        covers back-to-back NONSEQ phases that produce no ``htrans``
+        edge for the wake watcher.  While idle only the refresh
+        countdown advances, so the handle self-wakes at the deadline
+        and the skipped cycles are delta-accounted in :meth:`update`.
+        """
         if (
-            stream is not None
-            and stream.is_last_segment
-            and now + 1 >= stream.data_start
+            self._stream is None
+            and not self.queue
+            and not self._refresh_pending
+            and not self.bi.next_valid.value
+            and self.bus.htrans.value != _NONSEQ
+            and self.scheduler.quiescent()
         ):
-            out.ddr_remaining.drive_next(stream.length - stream.beats_done)
-        else:
-            out.ddr_remaining.drive_next(0)
-        self.bi.refresh_busy.drive_next(self._refresh_pending)
-        idle_map = 0
-        for bank in self.banks:
-            if bank.state is BankState.IDLE:
-                idle_map |= 1 << bank.index
-        self.bi.idle_banks.drive_next(idle_map)
+            self.seq.idle(
+                until=now + self._refresh_counter
+                if self.refresh_enabled
+                else None
+            )
 
     # -- status ------------------------------------------------------------------------------------
 

@@ -30,7 +30,7 @@ from typing import List, Optional
 from repro.ahb.master import TlmMaster
 from repro.ahb.transaction import Transaction
 from repro.ahb.types import HTrans
-from repro.kernel.cycle import CycleEngine
+from repro.kernel.cycle import CycleEngine, NULL_SEQ_HANDLE
 from repro.rtl.signals import MasterSignals, SharedBusSignals
 
 
@@ -65,6 +65,11 @@ class MasterRtl:
         self._eval = engine.add_combinational(
             self.evaluate, sensitive_to=(signals.hgrant, bus.bus_available)
         )
+        #: Quiescence handle, bound by the platform builder.  An idle
+        #: master with nothing to fetch sleeps until its next item's
+        #: think time expires (a pure time wake: no input signal can
+        #: affect a master that is not requesting or streaming).
+        self.seq = NULL_SEQ_HANDLE
 
     # -- views --------------------------------------------------------------------
 
@@ -138,6 +143,40 @@ class MasterRtl:
             or self._beat != beat0
         ):
             self._eval.touch()
+        self._assess_quiescence(now)
+
+    def _assess_quiescence(self, now: int) -> None:
+        """Sleep whenever this cycle's inputs make update() a no-op.
+
+        IDLE with nothing to fetch sleeps until the next item's issue
+        cycle (or forever once drained); REQUEST sleeps until the
+        grant+bus pair arrives; DATA sleeps through the CAS latency and
+        other owners' beats.  The non-timed cases re-arm through the
+        builder's wake-on list (hgrant/bus_available/hready/
+        stream_owner edges) or an explicit wake (write-buffer
+        absorption), always in the cycle the reference FSM would first
+        act again.
+        """
+        state = self.state
+        if state is MasterState.IDLE:
+            # Nothing fetched: drained for good, or thinking — the next
+            # item issues at `nxt`, so update() stays a no-op until the
+            # cycle whose fetch probes pending(nxt).
+            if self.agent.done:
+                self.seq.idle()
+            else:
+                nxt = self.agent.earliest_request()
+                if nxt is not None and nxt - 1 > now:
+                    self.seq.idle(until=nxt - 1)
+        elif state is MasterState.REQUEST:
+            if not (self.sig.hgrant.value and self.bus.bus_available.value):
+                self.seq.idle()
+        else:  # DATA
+            if not (
+                self.bus.hready.value
+                and self.bus.stream_owner.value == self.index
+            ):
+                self.seq.idle()
 
     def _update_data(self, now: int) -> None:
         txn = self._txn
@@ -178,4 +217,7 @@ class MasterRtl:
         self._txn = None
         self.state = MasterState.IDLE
         self._eval.touch()
+        # The master may be sleeping in REQUEST; its own update (which
+        # runs after the arbiter's this same cycle) must fetch now.
+        self.seq.wake()
         return txn

@@ -32,11 +32,15 @@ class BusMux:
         #: Indexed by owner index; the write buffer's bundle sits last.
         self.master_signals = master_signals
         self.bus = bus
-        # The mux is a pure function of the per-master bundles it routes
-        # plus the data-phase owner register — its sensitivity list.
-        sens = []
+        # Two independent pure functions with separate sensitivity
+        # lists: the address/control group re-routes only on a new
+        # address phase, while the write-data group re-routes on every
+        # data beat — splitting them keeps a streaming write burst from
+        # re-evaluating the whole address mux once per beat.
+        addr_sens = []
+        data_sens = []
         for bundle in master_signals:
-            sens.extend(
+            addr_sens.extend(
                 (
                     bundle.htrans,
                     bundle.haddr,
@@ -44,14 +48,15 @@ class BusMux:
                     bundle.hburst,
                     bundle.hlen,
                     bundle.hsize,
-                    bundle.hwdata,
                 )
             )
-        sens.append(bus.stream_owner)
-        engine.add_combinational(self.evaluate, sensitive_to=sens)
+            data_sens.append(bundle.hwdata)
+        data_sens.append(bus.stream_owner)
+        engine.add_combinational(self.evaluate_address, sensitive_to=addr_sens)
+        engine.add_combinational(self.evaluate_wdata, sensitive_to=data_sens)
 
-    def evaluate(self) -> None:
-        """Drive the shared address/control and write-data buses."""
+    def evaluate_address(self) -> None:
+        """Drive the shared address/control group."""
         driver = None
         for bundle in self.master_signals:
             if bundle.htrans.value == int(HTrans.NONSEQ):
@@ -68,9 +73,17 @@ class BusMux:
         else:
             self.bus.htrans.drive(int(HTrans.IDLE))
             self.bus.addr_owner.drive(NO_OWNER)
+
+    def evaluate_wdata(self) -> None:
+        """Drive the write-data bus from the data-phase owner's bundle."""
         owner = self.bus.stream_owner.value
         if owner != NO_OWNER and owner < len(self.master_signals):
             self.bus.hwdata.drive(self.master_signals[owner].hwdata.value)
+
+    def evaluate(self) -> None:
+        """Full mux evaluation (kept for direct unit-test driving)."""
+        self.evaluate_address()
+        self.evaluate_wdata()
 
 
 class ResponseMux:

@@ -86,12 +86,19 @@ class RtlPlatform:
         self.observers.append(observer)
 
     def _drained(self) -> bool:
-        return (
-            all(master.done for master in self.masters)
-            and self.buffer_master.done
-            and self.ddrc.idle
-            and all(slave.idle for slave in self.static_slaves)
-        )
+        # Explicit loops: this predicate runs every stepped cycle and
+        # the generator-expression form showed up in profiles.
+        for master in self.masters:
+            if not master.done:
+                return False
+        if not self.buffer_master.done:
+            return False
+        if not self.ddrc.idle:
+            return False
+        for slave in self.static_slaves:
+            if not slave.idle:
+                return False
+        return True
 
     #: Drain bound used when ``run`` is called with ``max_cycles=None``
     #: — the per-cycle engine needs *some* ceiling to fail loudly on a
@@ -169,10 +176,11 @@ def build_rtl_platform(
 ) -> RtlPlatform:
     """Assemble the pin-accurate AHB+ platform for *workload*.
 
-    ``full_sweep=True`` disables the cycle engine's sensitivity-based
-    process skipping and reverts to the reference sweep-everything
-    evaluate phase; the equivalence tests use it to assert that both
-    modes produce cycle-identical traces.
+    ``full_sweep=True`` disables every fast-forward optimisation — the
+    sensitivity-based evaluate phase, sequential quiescence with cycle
+    skip-ahead, and the DDRC's batched beat streaming — reverting to
+    the reference per-cycle, per-beat model; the equivalence tests use
+    it to assert that both modes produce cycle-identical traces.
 
     .. deprecated::
         Thin shim over :class:`repro.system.PlatformBuilder`; prefer

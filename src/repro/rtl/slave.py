@@ -21,11 +21,15 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.ahb.burst import beat_addresses
-from repro.ahb.types import HBurst
+from repro.ahb.types import HBurst, HTrans
 from repro.ddr.memory import MemoryModel
 from repro.errors import ConfigError, SimulationError
-from repro.kernel.cycle import CycleEngine
+from repro.kernel.cycle import CycleEngine, NULL_SEQ_HANDLE
 from repro.rtl.signals import NO_OWNER, SharedBusSignals, SlaveResponseSignals
+
+
+#: Hoisted HTrans.NONSEQ encoding for the per-cycle guards.
+_NONSEQ = int(HTrans.NONSEQ)
 
 
 @dataclass
@@ -85,6 +89,9 @@ class StaticSlaveRtl:
         self.size = size
         self.memory = memory if memory is not None else MemoryModel(f"{name}.mem")
         self._access: Optional[_StaticAccess] = None
+        #: Quiescence handle, bound by the platform builder (woken by
+        #: the bus ``htrans`` edge of a new address phase).
+        self.seq = NULL_SEQ_HANDLE
         # Statistics (mirror the DDRC's counters).
         self.reads = 0
         self.writes = 0
@@ -106,6 +113,11 @@ class StaticSlaveRtl:
         self._process_beat(now)
         self._accept_address_phase(now)
         self._drive_outputs(now)
+        # A NONSEQ this cycle (even one claimed by another slave) keeps
+        # the slave awake one more cycle: back-to-back address phases
+        # produce no htrans edge for the wake watcher to catch.
+        if self._access is None and self.bus.htrans.value != _NONSEQ:
+            self.seq.idle()
 
     def _process_beat(self, now: int) -> None:
         access = self._access
@@ -126,7 +138,7 @@ class StaticSlaveRtl:
             self._access = None
 
     def _accept_address_phase(self, now: int) -> None:
-        if self.bus.htrans.value != 0b10:  # HTrans.NONSEQ
+        if self.bus.htrans.value != _NONSEQ:
             return
         addr = self.bus.haddr.value
         if not self.accepts(addr):
@@ -165,25 +177,25 @@ class StaticSlaveRtl:
         )
         if beat_next:
             assert access is not None
-            out.hready.drive_next(1)
-            out.stream_owner.drive_next(access.owner)
+            out.hready.drive_next_lazy(1)
+            out.stream_owner.drive_next_lazy(access.owner)
             if not access.is_write:
-                out.hrdata.drive_next(
+                out.hrdata.drive_next_lazy(
                     self.memory.read(
                         access.addrs[access.beats_done], access.size_bytes
                     )
                 )
         else:
-            out.hready.drive_next(0)
-            out.stream_owner.drive_next(NO_OWNER)
+            out.hready.drive_next_lazy(0)
+            out.stream_owner.drive_next_lazy(NO_OWNER)
         final_beat_next = (
             beat_next
             and access is not None
             and access.beats_done == access.beats - 1
         )
-        out.bus_available.drive_next(access is None or final_beat_next)
-        out.ddr_busy.drive_next(access is not None)
+        out.bus_available.drive_next_lazy(access is None or final_beat_next)
+        out.ddr_busy.drive_next_lazy(access is not None)
         if access is not None and now + 1 >= access.first_beat:
-            out.ddr_remaining.drive_next(access.beats - access.beats_done)
+            out.ddr_remaining.drive_next_lazy(access.beats - access.beats_done)
         else:
-            out.ddr_remaining.drive_next(0)
+            out.ddr_remaining.drive_next_lazy(0)

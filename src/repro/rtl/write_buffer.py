@@ -17,7 +17,7 @@ from typing import List, Optional
 from repro.ahb.transaction import Transaction
 from repro.ahb.types import HTrans
 from repro.core.write_buffer import WriteBuffer
-from repro.kernel.cycle import CycleEngine
+from repro.kernel.cycle import CycleEngine, NULL_SEQ_HANDLE
 from repro.rtl.signals import MasterSignals, SharedBusSignals
 
 
@@ -55,6 +55,10 @@ class BufferMasterRtl:
         self._eval = engine.add_combinational(
             self.evaluate, sensitive_to=(signals.hgrant, bus.bus_available)
         )
+        #: Quiescence handle, bound by the platform builder.  An empty
+        #: idle drain engine sleeps until the arbiter absorbs a write
+        #: (the only path that fills the FIFO) and wakes it.
+        self.seq = NULL_SEQ_HANDLE
 
     @property
     def current_transaction(self) -> Optional[Transaction]:
@@ -140,3 +144,20 @@ class BufferMasterRtl:
             or self._beat != beat0
         ):
             self._eval.touch()
+        # Quiescence mirror of MasterRtl: empty-idle sleeps until the
+        # arbiter absorbs a write and wakes us; REQUEST/DATA sleep on
+        # the same grant/beat conditions, re-armed by the builder's
+        # wake-on signal edges.
+        state = self.state
+        if state is DrainState.IDLE:
+            if self.write_buffer.is_empty:
+                self.seq.idle()
+        elif state is DrainState.REQUEST:
+            if not (self.sig.hgrant.value and self.bus.bus_available.value):
+                self.seq.idle()
+        else:  # DATA
+            if not (
+                self.bus.hready.value
+                and self.bus.stream_owner.value == self.index
+            ):
+                self.seq.idle()

@@ -235,11 +235,19 @@ class PlatformBuilder:
                 timing=cfg.ddr_timing,
                 bus_bytes=cfg.bus_width_bytes,
                 refresh_enabled=cfg.refresh_enabled,
+                streaming=not full_sweep,
             )
             score: Callable[[int], int] = ddrc.access_score
         else:
             ddrc, score = self._build_rtl_slaves(
-                cfg, slave_specs, bus, bi, engine, static_slaves, responses
+                cfg,
+                slave_specs,
+                bus,
+                bi,
+                engine,
+                static_slaves,
+                responses,
+                streaming=not full_sweep,
             )
             ResponseMux(responses, bus, engine)
 
@@ -265,17 +273,53 @@ class PlatformBuilder:
 
         # Register every signal and the sequential processes.  Order matters
         # only where components call each other directly: the arbiter's
-        # write-buffer absorption must run before the masters' own updates.
+        # write-buffer absorption (and buffer-drain wake) must run before
+        # the buffer's and the masters' own updates.  Each component gets
+        # its SeqHandle back so it can declare per-component quiescence;
+        # wake-on lists re-arm sleepers on the input edges that make
+        # their update observable again (full_sweep platforms build the
+        # engine with quiescence off, so the handles become inert).
         engine.add_signal(
             *all_signals([*master_sigs, buffer_sig], bus, bi, extra=responses)
         )
-        engine.add_sequential(arbiter.update)
-        engine.add_sequential(ddrc.update)
+        arbiter.seq = engine.add_sequential(
+            arbiter.update,
+            wake_on=(
+                *(sig.hbusreq for sig in master_sigs),
+                buffer_sig.hbusreq,
+                bus.htrans,
+                bus.ddr_busy,
+                # Its own BI pulse: the 0->1 commit wakes the arbiter so
+                # the next cycle's update clears the one-cycle pulse.
+                bi.next_valid,
+            ),
+        )
+        ddrc.seq = engine.add_sequential(
+            ddrc.update, wake_on=(bus.htrans, bi.next_valid)
+        )
         for slave in static_slaves:
-            engine.add_sequential(slave.update)
-        engine.add_sequential(buffer_master.update)
+            slave.seq = engine.add_sequential(
+                slave.update, wake_on=(bus.htrans,)
+            )
+        buffer_master.seq = engine.add_sequential(
+            buffer_master.update,
+            wake_on=(
+                buffer_sig.hgrant,
+                bus.bus_available,
+                bus.hready,
+                bus.stream_owner,
+            ),
+        )
         for master in masters:
-            engine.add_sequential(master.update)
+            master.seq = engine.add_sequential(
+                master.update,
+                wake_on=(
+                    master_sigs[master.index].hgrant,
+                    bus.bus_available,
+                    bus.hready,
+                    bus.stream_owner,
+                ),
+            )
 
         tracer: Optional[VcdTracer] = None
         if trace:
@@ -311,6 +355,7 @@ class PlatformBuilder:
         engine: CycleEngine,
         static_slaves: List[StaticSlaveRtl],
         responses: List[SlaveResponseSignals],
+        streaming: bool = True,
     ):
         """Instantiate the multi-slave fabric; returns (ddrc, score_fn)."""
         ddrc: Optional[DdrcRtl] = None
@@ -353,6 +398,7 @@ class PlatformBuilder:
                     refresh_enabled=cfg.refresh_enabled,
                     out=resp,
                     accepts=claims(index),
+                    streaming=streaming,
                 )
             else:
                 wait, burst_wait = (

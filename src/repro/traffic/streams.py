@@ -34,10 +34,25 @@ import hashlib
 import random
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-try:  # NumPy is optional: the fallback batches draws with random.Random.
-    import numpy as _np
-except ImportError:  # pragma: no cover - exercised only without numpy
-    _np = None
+# NumPy is optional (the fallback batches draws with random.Random) and
+# deliberately *lazy*: importing it costs tens of milliseconds, which
+# every `import repro.traffic` — including each sweep pool worker — used
+# to pay even when no stream-mode generation ever ran.
+_np = None
+_np_checked = False
+
+
+def _numpy():
+    """Import numpy on first stream-mode use; None when unavailable."""
+    global _np, _np_checked
+    if not _np_checked:
+        _np_checked = True
+        try:
+            import numpy
+        except ImportError:  # pragma: no cover - only without numpy
+            numpy = None
+        _np = numpy
+    return _np
 
 from repro.ahb.burst import KB_BOUNDARY
 from repro.ahb.master import TrafficItem
@@ -184,19 +199,23 @@ class _NumpyDraws:
     """Bulk field draws, one ``numpy.random.Generator`` per field."""
 
     def __init__(self, pattern: TrafficPattern, master_index: int, seed: int) -> None:
+        np = _numpy()
+        assert np is not None  # caller checked _numpy() already
+        self._np = np
+
         def rng(fld: str):
-            return _np.random.Generator(
-                _np.random.PCG64(_field_seed(pattern, master_index, seed, fld))
+            return np.random.Generator(
+                np.random.PCG64(_field_seed(pattern, master_index, seed, fld))
             )
 
         self._rng = rng
         self._streams: dict = {}
-        weights = _np.asarray(
-            [w for _b, w in pattern.burst_mix], dtype=_np.float64
+        weights = np.asarray(
+            [w for _b, w in pattern.burst_mix], dtype=np.float64
         )
         self._burst_p = weights / weights.sum()
-        self._burst_choices = _np.asarray(
-            [b for b, _w in pattern.burst_mix], dtype=_np.int64
+        self._burst_choices = np.asarray(
+            [b for b, _w in pattern.burst_mix], dtype=np.int64
         )
 
     def _stream(self, fld: str):
@@ -218,13 +237,13 @@ class _NumpyDraws:
         if hi <= lo:
             return [lo] * n
         return self._stream(fld).integers(
-            lo, hi + 1, size=n, dtype=_np.int64
+            lo, hi + 1, size=n, dtype=self._np.int64
         ).tolist()
 
     def words(self, n: int) -> List[int]:
         """*n* raw 32-bit data words."""
         return self._stream("data").integers(
-            0, 1 << 32, size=n, dtype=_np.int64
+            0, 1 << 32, size=n, dtype=self._np.int64
         ).tolist()
 
 
@@ -276,7 +295,7 @@ def _stream_items(
     """Yield items chunk by chunk, one bulk draw per field per chunk."""
     draws = (
         _NumpyDraws(pattern, master_index, seed)
-        if _np is not None
+        if _numpy() is not None
         else _PurePythonDraws(pattern, master_index, seed)
     )
     span_end = pattern.base_addr + pattern.addr_span

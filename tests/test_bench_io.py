@@ -147,6 +147,85 @@ class TestSweepSuite:
         assert block["process_over_serial"] > 0
 
 
+class TestModelFilter:
+    def test_suite_measures_only_selected_models(self):
+        block = run_speed_suite(
+            repeats_tlm=1,
+            repeats_rtl=1,
+            include_trafficgen=False,
+            include_sweep=False,
+            models=["rtl"],
+        )
+        assert list(block["models"]) == ["rtl"]
+        assert "tlm_over_rtl_speedup" not in block
+        # Comparison helpers grade only the models a block carries.
+        baseline = make_report(_block())
+        fresh = {"models": {"rtl": dict(baseline["current"]["models"]["rtl"])}}
+        assert compare_reports(fresh, baseline) == []
+
+    def test_unknown_model_rejected(self):
+        import pytest
+
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            run_speed_suite(models=["warp-drive"])
+
+
+class TestDeltaTableAndTrajectory:
+    def test_delta_table_marks_regressions(self):
+        from repro.analysis.bench_io import render_delta_table
+
+        baseline = make_report(_block(tlm=100.0, rtl=10.0))
+        fresh = _block(tlm=60.0, rtl=11.0)  # tlm 40% down, rtl 10% up
+        table = render_delta_table(fresh, baseline)
+        lines = {
+            line.split()[0]: line for line in table.splitlines()[2:]
+        }
+        assert lines["tlm_method"].endswith("FAIL")
+        assert lines["rtl"].endswith("ok")
+        assert "-40.0%" in lines["tlm_method"]
+
+    def test_delta_table_flags_cycle_drift_cross_host(self):
+        from repro.analysis.bench_io import render_delta_table
+
+        baseline_block = _block()
+        baseline_block["host"] = "farm"
+        fresh = _block()
+        fresh["host"] = "laptop"
+        fresh["models"]["rtl"]["simulated_cycles"] = 7
+        table = render_delta_table(fresh, make_report(baseline_block))
+        lines = {
+            line.split()[0]: line for line in table.splitlines()[2:]
+        }
+        assert "DRIFT" in lines["rtl"] and lines["rtl"].endswith("FAIL")
+        assert lines["tlm_method"].endswith("n/a")  # cross-host speed
+
+    def test_trajectory_rows_and_history_collapse(self):
+        from repro.analysis.bench_io import (
+            append_history,
+            render_trajectory,
+        )
+
+        seed = _block(tlm=100.0, rev="seed000")
+        mid = _block(tlm=150.0, rev="mid1111")
+        current = _block(tlm=200.0, rev="cur2222")
+        history = append_history(None, mid, label="PR X")
+        # Same-revision tail entries collapse instead of duplicating.
+        history = append_history(history, mid, label="PR X again")
+        assert len(history) == 1 and history[0]["label"] == "PR X again"
+        report = make_report(current, seed=seed, history=history)
+        table = render_trajectory(report)
+        labels = [line.split()[0] for line in table.splitlines()[2:]]
+        assert labels == ["seed", "PR", "current"]  # "PR X again" splits
+        assert "2.00x" in table.splitlines()[-1]
+
+    def test_committed_baseline_has_history(self):
+        report = json.loads(BENCH_PATH.read_text())
+        assert report["history"], "speed trajectory missing"
+        assert {e["label"] for e in report["history"]} >= {"PR 1", "PR 3"}
+
+
 class TestCycleDeterminismGate:
     def test_cycle_drift_fails_even_cross_host(self):
         baseline_block = _block(tlm=1000.0)

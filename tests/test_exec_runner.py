@@ -124,5 +124,22 @@ class TestRunnerKnobs:
         assert default_workers(1) == 1
         assert default_workers() >= 1
 
+    def test_shared_pool_is_reused_and_deterministic(self):
+        from repro.exec import shared_pool
+
+        pool = shared_pool(1)
+        assert shared_pool(1) is pool  # cached per worker count
+        grid = _qos_grid(10)
+        runner = SweepRunner(backend="process", workers=1, pool=pool)
+        first = runner.run(grid)
+        second = runner.run(grid)  # pool survives across runs
+        assert first == second == SweepRunner(backend="serial").run(grid)
+
+    def test_pool_requires_process_backend(self):
+        from repro.exec import shared_pool
+
+        with pytest.raises(ConfigError):
+            SweepRunner(backend="serial", pool=shared_pool(1))
+
     def test_backends_constant(self):
         assert BACKENDS == ("serial", "process")
