@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo
+.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo trace-demo
 
 # Optional bench filter: `make bench MODELS=rtl` measures/gates only
 # the named models (space-separated subset of tlm_method
@@ -44,3 +44,9 @@ bench-tables:
 # Also exercised by the examples smoke test inside tier-1.
 sweep-demo:
 	$(PYTHON) examples/sweep_demo.py
+
+# Trace-driven Table-1 playback: capture at TLM, replay at every engine,
+# transform, and sweep the capture over a config grid (process backend).
+# Also exercised by the examples smoke test inside tier-1.
+trace-demo:
+	$(PYTHON) examples/trace_replay.py

@@ -37,8 +37,15 @@ from repro.analysis.speed import (
     speed_comparison,
 )
 from repro.analysis.tables import render_speed, render_table1
+from repro.analysis.trace_diff import (
+    FUNCTIONAL_FIELDS,
+    TraceDiffResult,
+    TraceMismatch,
+    trace_diff,
+)
 
 __all__ = [
+    "FUNCTIONAL_FIELDS",
     "FilterPoint",
     "InterleavingPoint",
     "MasterAccuracy",
@@ -46,6 +53,8 @@ __all__ = [
     "SpeedReport",
     "SpeedSample",
     "Table1Result",
+    "TraceDiffResult",
+    "TraceMismatch",
     "WorkloadAccuracy",
     "WriteBufferPoint",
     "compare_models",
@@ -68,5 +77,6 @@ __all__ = [
     "run_table1",
     "run_trafficgen_suite",
     "speed_comparison",
+    "trace_diff",
     "write_report",
 ]

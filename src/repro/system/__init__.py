@@ -28,6 +28,7 @@ from repro.system.scenarios import (
     scenario,
     scenario_names,
     scratchpad_offload,
+    trace_replay,
 )
 from repro.system.spec import (
     LEVELS,
@@ -58,5 +59,6 @@ __all__ = [
     "scenario",
     "scenario_names",
     "scratchpad_offload",
+    "trace_replay",
     "sweep",
 ]

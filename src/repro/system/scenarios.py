@@ -103,6 +103,92 @@ def mpeg_bursty(
     )
 
 
+# -- trace-driven playback -------------------------------------------------------
+
+
+def trace_replay(
+    transactions: Optional[int] = None,
+    source: object = None,
+    config: Optional[AhbPlusConfig] = None,
+    capture_engine: Optional[str] = None,
+    preserve_issue_times: Optional[bool] = None,
+    qos: Optional[Dict[int, QosSetting]] = None,
+    num_masters: Optional[int] = None,
+    master_names: Optional[Tuple[str, ...]] = None,
+) -> SystemSpec:
+    """Table-1 playback: one captured run, replayed on any engine.
+
+    With no *source* this captures the canonical Table-1 pattern-A run
+    once — elaborate the paper topology at *capture_engine*, record
+    every transaction with a :class:`~repro.traffic.trace.
+    TraceRecorder` — and binds the records as a trace-backed
+    :class:`~repro.traffic.Workload`.  The resulting spec is plain
+    data (the records travel inline), so it JSON-round-trips and
+    pickles into process-backend sweep workers like any other spec;
+    elaborating it at ``tlm``, ``plain`` or ``rtl`` replays the
+    *identical* per-master transaction sequence, which is the paper's
+    Table-1 methodology made literal.
+
+    *source* short-circuits the capture: a trace file path, a record
+    sequence, or a prepared :class:`~repro.traffic.trace.TraceSource`.
+    ``preserve_issue_times=None`` (the default) anchors replay on the
+    captured issue cycles for fresh captures and defers to a prepared
+    source's own setting; pass a bool to force either mode.  A trace
+    does not archive the bus's QoS register programming (per-transaction
+    deadlines it does), so *qos* re-attaches RT settings when replaying
+    an archived real-time capture; *num_masters* / *master_names* shape
+    the synthesized master specs the same way.
+    """
+    from repro.system.platform import PlatformBuilder
+    from repro.traffic.trace import TraceRecorder
+    from repro.traffic.workloads import Workload
+
+    if source is not None and (
+        transactions is not None or capture_engine is not None
+    ):
+        raise ConfigError(
+            "transactions/capture_engine only shape a fresh capture; "
+            "a source= trace already fixes the record set"
+        )
+    if source is None and (
+        qos is not None or num_masters is not None or master_names is not None
+    ):
+        raise ConfigError(
+            "qos/num_masters/master_names re-shape an archived source= "
+            "trace; a fresh capture inherits them from the captured "
+            "workload"
+        )
+    if source is None:
+        base = paper_topology(
+            transactions=60 if transactions is None else transactions,
+            config=config,
+        )
+        platform = PlatformBuilder(base).build(capture_engine or "tlm")
+        recorder = TraceRecorder()
+        platform.attach(recorder)
+        platform.run()
+        workload = Workload.from_trace(
+            recorder.records,
+            name="trace_replay",
+            qos=base.workload.qos_map(),
+            num_masters=base.workload.num_masters,
+            preserve_issue_times=preserve_issue_times,
+            master_names=[spec.name for spec in base.workload.masters],
+        )
+    else:
+        workload = Workload.from_trace(
+            source,
+            name="trace_replay",
+            qos=qos,
+            num_masters=num_masters,
+            preserve_issue_times=preserve_issue_times,
+            master_names=master_names,
+        )
+    return SystemSpec(
+        name="trace_replay", workload=workload, bus=BusSpec(config=config)
+    )
+
+
 # -- multi-slave variants --------------------------------------------------------
 
 #: Memory map of the multi-slave SoC scenarios.
@@ -262,6 +348,7 @@ SCENARIOS: Dict[str, Callable[..., SystemSpec]] = {
         workload=bank_striped_workload(transactions), **kw
     ),
     "mpeg-bursty": mpeg_bursty,
+    "trace-replay": trace_replay,
     "multi-slave-soc": multi_slave_soc,
     "scratchpad-offload": scratchpad_offload,
 }

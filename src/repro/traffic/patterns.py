@@ -219,6 +219,18 @@ RANDOM = TrafficPattern(
     sequential_fraction=0.05,
 )
 
+#: Placeholder carried by trace-backed workload master specs.  A
+#: trace replay never draws from its pattern — the items come verbatim
+#: from the archived records — but :class:`~repro.traffic.workloads.
+#: MasterSpec` wants one for serialisation symmetry, so this inert
+#: descriptor marks the slot.  Deliberately absent from
+#: ``NAMED_PATTERNS``: it would generate degenerate synthetic traffic.
+REPLAY = TrafficPattern(
+    name="trace-replay",
+    burst_mix=((1, 1.0),),
+    think_range=(0, 0),
+)
+
 NAMED_PATTERNS = {
     pattern.name: pattern
     for pattern in (CPU, DMA, VIDEO, AUDIO, WRITER, MPEG, RANDOM)

@@ -13,10 +13,12 @@ traffic patterns:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ahb.master import TlmMaster
+from repro.ahb.transaction import WRITE_BUFFER_MASTER
 from repro.core.qos import QosSetting
 from repro.errors import TrafficError
 from repro.traffic.generator import generate_items, stream_items
@@ -26,10 +28,22 @@ from repro.traffic.patterns import (
     CPU,
     DMA,
     RANDOM,
+    REPLAY,
     VIDEO,
     WRITER,
     TrafficPattern,
 )
+from repro.traffic.trace import (
+    TraceRecord,
+    TraceSource,
+    group_by_master,
+    replay_items,
+    trace_masters,
+)
+
+#: Where a workload's items come from: drawn from seeded patterns, or
+#: replayed verbatim from an archived trace.
+WORKLOAD_SOURCES = ("synthetic", "trace")
 
 
 @dataclass(frozen=True)
@@ -77,6 +91,11 @@ class Workload:
     masters: Tuple[MasterSpec, ...]
     seed: int = 1
     gen_mode: str = "compat"
+    #: ``"synthetic"`` draws from the master specs' patterns;
+    #: ``"trace"`` replays the bound :class:`TraceSource` verbatim
+    #: (build via :meth:`from_trace`).
+    source: str = "synthetic"
+    trace: Optional[TraceSource] = None
 
     def __post_init__(self) -> None:
         if not self.masters:
@@ -85,6 +104,16 @@ class Workload:
             raise TrafficError(
                 f"unknown gen_mode {self.gen_mode!r}; "
                 f"choose from {GENERATION_MODES}"
+            )
+        if self.source not in WORKLOAD_SOURCES:
+            raise TrafficError(
+                f"unknown workload source {self.source!r}; "
+                f"choose from {WORKLOAD_SOURCES}"
+            )
+        if (self.source == "trace") != (self.trace is not None):
+            raise TrafficError(
+                "trace workloads need trace=; synthetic ones must not "
+                "carry a trace source"
             )
 
     @property
@@ -108,8 +137,38 @@ class Workload:
 
         Compat mode materialises items eagerly (bit-exact legacy
         behaviour: generation cost stays in the untimed build phase);
-        stream mode hands each master a lazy batched stream.
+        stream mode hands each master a lazy batched stream.  Trace
+        workloads replay the archived records instead — every engine
+        level gets the identical per-master item sequence, issue-order
+        sorted, with the original issue cycles as ``not_before``
+        constraints when the source preserves them.
         """
+        if self.source == "trace":
+            assert self.trace is not None  # __post_init__ invariant
+            grouped = group_by_master(self.trace.resolve())
+            uncovered = sorted(
+                index
+                for index in grouped
+                if index != WRITE_BUFFER_MASTER and index >= len(self.masters)
+            )
+            if uncovered:
+                raise TrafficError(
+                    f"workload {self.name!r} has {len(self.masters)} "
+                    f"masters but its trace names masters {uncovered}; "
+                    f"their streams would be dropped"
+                )
+            return [
+                TlmMaster(
+                    index,
+                    spec.name,
+                    replay_items(
+                        grouped.get(index, ()),
+                        index,
+                        preserve_issue_times=self.trace.preserve_issue_times,
+                    ),
+                )
+                for index, spec in enumerate(self.masters)
+            ]
         agents: List[TlmMaster] = []
         for index, spec in enumerate(self.masters):
             if self.gen_mode == "compat":
@@ -129,6 +188,11 @@ class Workload:
 
     def scaled(self, factor: float) -> "Workload":
         """Same mix with transaction counts scaled by *factor*."""
+        if self.source == "trace":
+            raise TrafficError(
+                "a trace-backed workload replays a fixed record set and "
+                "cannot be scaled; transform the trace instead"
+            )
         masters = tuple(
             replace(spec, transactions=max(1, int(spec.transactions * factor)))
             for spec in self.masters
@@ -141,12 +205,16 @@ class Workload:
 
     def to_dict(self) -> dict:
         """JSON-ready mapping of the full scenario description."""
-        return {
+        payload = {
             "name": self.name,
             "seed": self.seed,
             "gen_mode": self.gen_mode,
+            "source": self.source,
             "masters": [spec.to_dict() for spec in self.masters],
         }
+        if self.trace is not None:
+            payload["trace"] = self.trace.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: dict) -> "Workload":
@@ -154,6 +222,7 @@ class Workload:
         missing = {"name", "masters"} - set(data)
         if missing:
             raise TrafficError(f"Workload needs fields {sorted(missing)}")
+        raw_trace = data.get("trace")
         return cls(
             name=data["name"],
             masters=tuple(
@@ -161,7 +230,98 @@ class Workload:
             ),
             seed=int(data.get("seed", 1)),
             gen_mode=str(data.get("gen_mode", "compat")),
+            source=str(data.get("source", "synthetic")),
+            trace=(
+                None if raw_trace is None else TraceSource.from_dict(raw_trace)
+            ),
         )
+
+    # -- trace binding ----------------------------------------------------------
+
+    @classmethod
+    def from_trace(
+        cls,
+        source: "TraceSource | str | Sequence[TraceRecord]",
+        name: str = "trace_replay",
+        qos: Optional[Dict[int, QosSetting]] = None,
+        num_masters: Optional[int] = None,
+        preserve_issue_times: Optional[bool] = None,
+        master_names: Optional[Sequence[str]] = None,
+    ) -> "Workload":
+        """Bind an archived trace as a first-class workload.
+
+        *source* is a :class:`~repro.traffic.trace.TraceSource`, a path
+        to a JSON-lines trace file (kept path-picklable: sweep workers
+        re-read it), or an in-memory record sequence (shipped inline).
+        One :class:`MasterSpec` is synthesized per master index up to
+        the trace's highest real master (records of the write buffer's
+        pseudo-master are ignored — they are bus bookkeeping, not
+        offered traffic), carrying the inert ``REPLAY`` pattern and the
+        per-master record count; *qos* re-attaches QoS settings the
+        trace itself does not archive.  *preserve_issue_times* defaults
+        to the source's own setting (``True`` for paths/records) and
+        overrides it when given explicitly — including on a prepared
+        :class:`TraceSource`.
+        """
+        if isinstance(source, TraceSource):
+            trace = source
+            if preserve_issue_times is not None:
+                trace = replace(
+                    trace, preserve_issue_times=preserve_issue_times
+                )
+        else:
+            anchored = (
+                True if preserve_issue_times is None else preserve_issue_times
+            )
+            if isinstance(source, (str, os.PathLike)):
+                trace = TraceSource(
+                    path=os.fspath(source), preserve_issue_times=anchored
+                )
+            else:
+                trace = TraceSource(
+                    records=tuple(source), preserve_issue_times=anchored
+                )
+        records = trace.resolve()
+        indices = trace_masters(records)
+        if not indices:
+            raise TrafficError(f"trace for workload {name!r} has no records")
+        count = max(indices) + 1
+        if num_masters is not None:
+            if num_masters < count:
+                raise TrafficError(
+                    f"trace names master {max(indices)} but num_masters is "
+                    f"{num_masters}"
+                )
+            count = num_masters
+        if master_names is not None and len(master_names) != count:
+            raise TrafficError(
+                f"need {count} master names, got {len(master_names)}"
+            )
+        per_master: Dict[int, int] = {index: 0 for index in range(count)}
+        for record in records:
+            if record.master in per_master:
+                per_master[record.master] += 1
+        qos = qos or {}
+        stray = sorted(index for index in qos if not 0 <= index < count)
+        if stray:
+            raise TrafficError(
+                f"qos names masters {stray} outside the trace's "
+                f"0..{count - 1} range"
+            )
+        specs = tuple(
+            MasterSpec(
+                name=(
+                    master_names[index]
+                    if master_names is not None
+                    else f"m{index}"
+                ),
+                pattern=REPLAY,
+                transactions=per_master[index],
+                qos=qos.get(index, QosSetting()),
+            )
+            for index in range(count)
+        )
+        return cls(name=name, masters=specs, source="trace", trace=trace)
 
 
 def _window(pattern: TrafficPattern, index: int, window: int = 1 << 20) -> TrafficPattern:

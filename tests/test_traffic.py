@@ -6,25 +6,54 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.ahb.burst import check_burst_legal
+from repro.ahb.transaction import WRITE_BUFFER_MASTER, Transaction
+from repro.ahb.types import AccessKind
 from repro.core import build_tlm_platform
+from repro.core.write_buffer import WriteBuffer
 from repro.traffic import (
     CPU,
     DMA,
     VIDEO,
+    TraceRecord,
     TraceRecorder,
+    TraceSource,
     TrafficPattern,
     bank_striped_workload,
     generate_items,
     load_trace,
+    merge_traces,
     named_pattern,
+    remap_addresses,
+    remap_masters,
     replay_items,
     saturating_workload,
     single_master_workload,
     table1_workloads,
+    time_scale,
 )
 from repro.errors import TrafficError
 
 from dataclasses import replace
+
+
+def _record(master=0, addr=0, issued_at=0, kind="read", beats=4, data=(), **kw):
+    """A hand-built record with sane defaults for unit tests."""
+    base = dict(
+        master=master,
+        kind=kind,
+        addr=addr,
+        beats=beats,
+        size_bytes=4,
+        wrapping=False,
+        data=list(data),
+        issued_at=issued_at,
+        granted_at=issued_at + 1,
+        started_at=issued_at + 2,
+        finished_at=issued_at + 2 + beats,
+        via_write_buffer=False,
+    )
+    base.update(kw)
+    return TraceRecord(**base)
 
 
 class TestPatterns:
@@ -182,3 +211,244 @@ class TestTrace:
         platform.run()
         grouped = recorder.by_master()
         assert sum(len(v) for v in grouped.values()) == len(recorder)
+
+    def test_multi_master_capture_is_complete_per_master(self):
+        """``drains="origin"`` archives posted writes under their master.
+
+        Even with write-buffer absorption in play, every master's record
+        set is exactly the stream it issued — the property trace-backed
+        workloads replay.
+        """
+        workload = table1_workloads(8)[0]
+        platform = build_tlm_platform(workload)
+        recorder = TraceRecorder()
+        platform.bus.add_observer(recorder)
+        result = platform.run()
+        assert result.absorbed_writes > 0  # the interesting case
+        grouped = recorder.by_master()
+        assert set(grouped) == {0, 1, 2, 3}
+        assert all(len(v) == 8 for v in grouped.values())
+
+
+class TestRecorderTimestamps:
+    """Regression: the recorder trusts the bus observer's cycles."""
+
+    def test_observer_args_fill_unstamped_fields(self):
+        txn = Transaction(master=0, kind=AccessKind.READ, addr=0, beats=4)
+        txn.issued_at = 3
+        recorder = TraceRecorder()
+        recorder(txn, 5, 6, 9)
+        record = recorder.records[0]
+        assert (record.granted_at, record.started_at, record.finished_at) == (
+            5,
+            6,
+            9,
+        )
+
+    def test_stale_stamped_timestamp_rejected(self):
+        txn = Transaction(master=0, kind=AccessKind.READ, addr=0, beats=4)
+        txn.granted_at = 3  # stale: disagrees with the bus's grant cycle
+        recorder = TraceRecorder()
+        with pytest.raises(TrafficError, match="stale"):
+            recorder(txn, 5, 6, 9)
+
+    def _drain(self):
+        origin = Transaction(
+            master=2, kind=AccessKind.WRITE, addr=64, beats=1, data=[7]
+        )
+        origin.issued_at = 10
+        buffer = WriteBuffer(depth=4)
+        drain = buffer.absorb(origin, 12)
+        origin.finished_at = 12
+        origin.via_write_buffer = True
+        drain.granted_at = 20
+        drain.started_at = 21
+        drain.finished_at = 22
+        return origin, drain
+
+    def test_drain_records_origin_by_default(self):
+        origin, drain = self._drain()
+        recorder = TraceRecorder()
+        recorder(drain, 20, 21, 22)
+        record = recorder.records[0]
+        assert record.master == 2
+        assert record.via_write_buffer
+        assert record.issued_at == 10 and record.finished_at == 12
+        assert record.granted_at == -1  # the origin never owned the bus
+
+    def test_drain_modes_bus_and_skip(self):
+        origin, drain = self._drain()
+        bus_mode = TraceRecorder(drains="bus")
+        bus_mode(drain, 20, 21, 22)
+        assert bus_mode.records[0].master == WRITE_BUFFER_MASTER
+        skip = TraceRecorder(drains="skip")
+        skip(drain, 20, 21, 22)
+        assert len(skip) == 0
+        with pytest.raises(TrafficError):
+            TraceRecorder(drains="both")
+
+
+class TestReplayOrdering:
+    """Regression: replay re-sorts completion-ordered records by issue."""
+
+    def test_out_of_completion_order_records_replay_in_issue_order(self):
+        records = [
+            _record(master=0, addr=0x200, issued_at=100),
+            _record(master=0, addr=0x100, issued_at=50),
+        ]
+        items = replay_items(records, master=0)
+        assert [i.txn.addr for i in items] == [0x100, 0x200]
+        assert [i.not_before for i in items] == [50, 100]
+
+    def test_issue_cycle_ties_break_on_capture_uid(self):
+        """A posted write absorbed in the cycle its successor issues
+        shares the issue stamp; the capture uid restores offered order."""
+        records = [
+            _record(master=0, addr=0x200, issued_at=50, uid=9),
+            _record(master=0, addr=0x100, issued_at=50, uid=5),
+        ]
+        items = replay_items(records, master=0)
+        assert [i.txn.addr for i in items] == [0x100, 0x200]
+
+    def test_closed_loop_replay_drops_issue_anchors(self):
+        records = [
+            _record(master=0, addr=0x200, issued_at=100),
+            _record(master=0, addr=0x100, issued_at=50),
+        ]
+        items = replay_items(records, master=0, preserve_issue_times=False)
+        assert [i.txn.addr for i in items] == [0x100, 0x200]
+        assert all(i.not_before is None for i in items)
+        assert all(i.think_cycles == 0 for i in items)
+
+    def test_replay_restores_deadline_and_write_data(self):
+        records = [
+            _record(master=1, kind="write", beats=2, data=[1, 2], deadline=500),
+            _record(master=1, addr=0x40, issued_at=9, data=[3, 3, 3, 3]),
+        ]
+        items = replay_items(records, master=1)
+        assert items[0].absolute_deadline == 500
+        assert items[0].txn.data == [1, 2]
+        # Read data is produced by the slave on replay, never offered.
+        assert items[1].txn.data == []
+
+
+class TestTraceValidation:
+    """Regression: a malformed trace fails loudly at load time."""
+
+    def _load(self, payload: str):
+        return load_trace(io.StringIO(payload))
+
+    def _line(self, **overrides):
+        import json
+        from dataclasses import asdict
+
+        payload = asdict(_record())
+        payload.update(overrides)
+        for key in [k for k, v in payload.items() if v is ...]:
+            del payload[key]
+        return json.dumps(payload) + "\n"
+
+    def test_bad_kind_string_is_traffic_error_with_line(self):
+        with pytest.raises(TrafficError, match="line 2.*kind"):
+            self._load(self._line() + self._line(kind="x"))
+
+    def test_wrong_typed_fields_rejected(self):
+        for overrides in (
+            {"data": "0xdead"},
+            {"data": [1, "2"]},
+            {"addr": "64"},
+            {"addr": True},
+            {"wrapping": 1},
+            {"beats": 0},
+            {"master": -1},
+            {"deadline": -5},
+        ):
+            with pytest.raises(TrafficError, match="line 1"):
+                self._load(self._line(**overrides))
+
+    def test_missing_and_unknown_fields_rejected(self):
+        with pytest.raises(TrafficError, match="missing"):
+            self._load(self._line(addr=...))
+        with pytest.raises(TrafficError, match="unknown"):
+            self._load(self._line(hx=1))
+
+    def test_pre_deadline_traces_still_load(self):
+        records = self._load(self._line(deadline=...))
+        assert records[0].deadline is None
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(TrafficError, match="line 1"):
+            self._load("[1, 2]\n")
+
+    def test_protocol_constraints_checked_at_load(self):
+        """Protocol-illegal records fail as TrafficError with the line,
+        not as ProtocolError at first replay (possibly in a worker)."""
+        for overrides in (
+            {"size_bytes": 3},
+            {"addr": 2},  # not 4-byte aligned
+            {"wrapping": True, "beats": 5},
+            {"kind": "write", "beats": 4, "data": [1, 2]},
+        ):
+            with pytest.raises(TrafficError, match="line 1"):
+                self._load(self._line(**overrides))
+
+
+class TestTraceTransforms:
+    def test_time_scale_scales_stamps_and_skips_never_happened(self):
+        record = _record(issued_at=10, deadline=100, granted_at=-1)
+        (scaled,) = time_scale([record], 2.0)
+        assert scaled.issued_at == 20
+        assert scaled.deadline == 200
+        assert scaled.granted_at == -1
+        with pytest.raises(TrafficError):
+            time_scale([record], 0)
+
+    def test_remap_addresses_validates_alignment_and_boundary(self):
+        (moved,) = remap_addresses([_record(addr=0x100)], 0x400)
+        assert moved.addr == 0x500
+        with pytest.raises(TrafficError, match="alignment"):
+            remap_addresses([_record(addr=0x100)], 2)
+        with pytest.raises(TrafficError, match="1 KB"):
+            # 4 beats x 4B at 0x3F8 would cross the 1 KB line.
+            remap_addresses([_record(addr=0x0)], 0x3F8)
+        with pytest.raises(TrafficError, match="below zero"):
+            remap_addresses([_record(addr=0x100)], -0x400)
+
+    def test_remap_masters(self):
+        records = [_record(master=0), _record(master=3)]
+        mapped = remap_masters(records, {3: 1})
+        assert [r.master for r in mapped] == [0, 1]
+        with pytest.raises(TrafficError):
+            remap_masters(records, {0: -1})
+
+    def test_merge_traces_orders_by_issue(self):
+        a = [_record(master=0, issued_at=10), _record(master=0, issued_at=30)]
+        b = [_record(master=1, issued_at=20)]
+        merged = merge_traces(a, b)
+        assert [r.issued_at for r in merged] == [10, 20, 30]
+
+
+class TestTraceSource:
+    def test_exactly_one_of_path_or_records(self):
+        with pytest.raises(TrafficError):
+            TraceSource()
+        with pytest.raises(TrafficError):
+            TraceSource(path="x.jsonl", records=(_record(),))
+
+    def test_path_source_loads_and_validates(self, tmp_path):
+        from repro.traffic import save_trace
+
+        path = tmp_path / "t.jsonl"
+        save_trace([_record(master=1)], path)
+        source = TraceSource(path=str(path))
+        assert source.masters() == (1,)
+        missing = TraceSource(path=str(tmp_path / "nope.jsonl"))
+        with pytest.raises(TrafficError):
+            missing.resolve()
+
+    def test_round_trip(self):
+        import json
+
+        source = TraceSource(records=(_record(master=2),))
+        clone = TraceSource.from_dict(json.loads(json.dumps(source.to_dict())))
+        assert clone == source
