@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo trace-demo
+.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo trace-demo fuzz fuzz-long
 
 # Optional bench filter: `make bench MODELS=rtl` measures/gates only
 # the named models (space-separated subset of tlm_method
@@ -39,6 +39,20 @@ profile:
 # The full paper-table benchmark suite (slow; pytest-benchmark output).
 bench-tables:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q
+
+# Fixed-seed protocol fuzz (small budget, deterministic): cross-checks
+# tlm/plain/rtl on adversarial scenarios, exits non-zero on any finding.
+# The same budget runs inside tier-1 via tests/test_fuzz.py.
+fuzz:
+	$(PYTHON) -m repro.fuzz --start 0 --count 25
+
+# Long fuzzing campaign: wider seed range, bigger scenarios, repros
+# archived under fuzz-repros/ for triage (promote keepers into
+# tests/data/repros/ so they become regression tests).
+FUZZ_COUNT ?= 500
+fuzz-long:
+	$(PYTHON) -m repro.fuzz --start 0 --count $(FUZZ_COUNT) \
+		--transactions 3 20 --out fuzz-repros
 
 # Small process-backend sweep (serial-vs-process determinism + speedup).
 # Also exercised by the examples smoke test inside tier-1.

@@ -8,7 +8,7 @@ address arithmetic cannot diverge between RTL and TLM.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.ahb.transaction import Transaction
 from repro.errors import ProtocolError
@@ -35,6 +35,28 @@ def beat_addresses(
     span = beats * size_bytes
     base = (addr // span) * span
     return [base + (addr - base + i * size_bytes) % span for i in range(beats)]
+
+
+def burst_footprint(
+    addr: int, beats: int, size_bytes: int, wrapping: bool = False
+) -> Tuple[int, int]:
+    """Half-open byte range ``[lo, hi)`` that a burst touches.
+
+    A wrapping burst wraps inside the total-size-aligned block that
+    contains its start address, so its footprint is that whole block —
+    not the linear range from the start address, which would miss the
+    bytes below the wrap point.
+    """
+    total = beats * size_bytes
+    if not wrapping:
+        return addr, addr + total
+    base = (addr // total) * total
+    return base, base + total
+
+
+def transaction_footprint(txn: Transaction) -> Tuple[int, int]:
+    """Byte footprint of a :class:`~repro.ahb.transaction.Transaction`."""
+    return burst_footprint(txn.addr, txn.beats, txn.size_bytes, txn.wrapping)
 
 
 def transaction_addresses(txn: Transaction) -> List[int]:

@@ -22,6 +22,7 @@ from repro.ahb.decoder import AddressMap
 from repro.ahb.master import TlmMaster
 from repro.ahb.slave import TlmSlave
 from repro.ahb.transaction import Transaction
+from repro.ahb.types import HResp
 from repro.errors import ConfigError, SimulationError
 
 #: Observer signature: ``(txn, grant_cycle, start_cycle, finish_cycle)``.
@@ -37,6 +38,10 @@ class BusRunResult:
     bytes_transferred: int
     busy_cycles: int
     per_master_transactions: List[int] = field(default_factory=list)
+    #: Transfers abandoned after a final non-OKAY response.
+    error_responses: int = 0
+    #: RETRY responses absorbed (each one is a re-arbitrated request).
+    retry_responses: int = 0
 
     @property
     def utilization(self) -> float:
@@ -127,9 +132,37 @@ class PlainAhbBus:
         self._now = max(self._now, target)
         return True
 
+    def _serve_fault(self, txn: Transaction, grant: int) -> None:
+        """One faulted bus presentation: the slave answers ERROR/RETRY.
+
+        The address phase occupies the bus for one response cycle; no
+        data beats move, so the throughput counters are untouched.  On
+        RETRY the master re-requests and the transfer re-arbitrates; on
+        ERROR (or an exhausted retry budget) it is aborted with its
+        response recorded.
+        """
+        code = txn.fault_plan[txn.fault_step]
+        txn.fault_step += 1
+        start = grant
+        finish = grant + 1
+        txn.started_at = start
+        self._now = finish + 1
+        owner = self.masters[txn.master]
+        if code == int(HResp.RETRY):
+            if owner.retry(txn, finish):
+                return  # re-requests; next arbitration round picks it up
+        else:
+            txn.resp = code
+            owner.fail(txn, finish)
+        for observer in self._observers:
+            observer(txn, grant, start, finish)
+
     def _serve(self, txn: Transaction) -> None:
         grant = self._now + self.arbitration_cycles
         txn.granted_at = grant
+        if txn.fault_step < len(txn.fault_plan):
+            self._serve_fault(txn, grant)
+            return
         slave = self.slaves[self.address_map.slave_for(txn.addr)]
         slave.idle_until(grant)
         start = slave.access_permitted_at(txn, grant)
@@ -164,4 +197,6 @@ class PlainAhbBus:
             per_master_transactions=[
                 master.transactions_completed for master in self.masters
             ],
+            error_responses=sum(m.error_aborts for m in self.masters),
+            retry_responses=sum(m.retry_responses for m in self.masters),
         )

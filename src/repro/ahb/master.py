@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Optional
 
 from repro.ahb.transaction import Transaction
+from repro.ahb.types import HResp
 from repro.errors import TrafficError
 
 
@@ -72,6 +73,12 @@ class TlmMaster:
         self._pending_issue = 0
         self._last_finish = 0
         self.completed: List[Transaction] = []
+        #: Transfers abandoned after an ERROR response (or retry budget
+        #: exhaustion); these still appear in :attr:`completed` with a
+        #: non-OKAY ``resp`` so replay/compare layers see them.
+        self.error_aborts = 0
+        #: Total RETRY responses this master absorbed and re-requested.
+        self.retry_responses = 0
         self._fetch()
 
     # -- internal -------------------------------------------------------------
@@ -146,6 +153,46 @@ class TlmMaster:
         self._last_finish = absorb_cycle
         self.completed.append(txn)
         self._fetch()
+
+    def fail(self, txn: Transaction, fail_cycle: int) -> None:
+        """Abort the pending transaction after a final non-OKAY response.
+
+        The transfer counts as finished (the master stops requesting the
+        bus for it) but carries its error response in ``txn.resp``; read
+        data, if any was captured, is discarded.
+        """
+        if txn is not self._pending:
+            raise TrafficError(
+                f"master {self.index} aborted a transaction it did not issue"
+            )
+        if not txn.resp:
+            txn.resp = int(HResp.ERROR)
+        if not txn.is_write:
+            txn.data = []
+        txn.finished_at = fail_cycle
+        self._last_finish = fail_cycle
+        self.completed.append(txn)
+        self.error_aborts += 1
+        self._fetch()
+
+    def retry(self, txn: Transaction, retry_cycle: int) -> bool:
+        """Absorb a RETRY response; returns ``True`` to re-request.
+
+        Bounded policy: once ``txn.retry_limit`` retries have been
+        burned the master aborts the transfer instead (returns
+        ``False`` after recording the abort via :meth:`fail`).
+        """
+        if txn is not self._pending:
+            raise TrafficError(
+                f"master {self.index} got a retry for a transaction it did not issue"
+            )
+        txn.retries += 1
+        self.retry_responses += 1
+        if txn.retries > txn.retry_limit:
+            txn.resp = int(HResp.RETRY)
+            self.fail(txn, retry_cycle)
+            return False
+        return True
 
     # -- reporting ---------------------------------------------------------------
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.ahb.types import AccessKind, HBurst, HSize, burst_for_beats
 from repro.errors import ProtocolError
@@ -76,6 +76,17 @@ class Transaction:
     drained_at: int = -1
     #: Drain transactions link back to the posted original.
     origin: Optional["Transaction"] = None
+    #: Seeded fault plan: non-OKAY HResp codes the addressed slave will
+    #: answer with, one per bus presentation, before (possibly) letting
+    #: the transfer through.  Stamped by the traffic layer so every
+    #: engine sees the identical plan.
+    fault_plan: Tuple[int, ...] = ()
+    #: How many plan entries have been consumed (bus presentations).
+    fault_step: int = 0
+    #: RETRY responses tolerated before the master aborts the transfer.
+    retry_limit: int = 4
+    #: Final response the master observed (``HResp`` value; 0 = OKAY).
+    resp: int = 0
     #: Cached ``kind.is_write`` — read on every arbitration round and
     #: data beat, so it is materialised once instead of going through a
     #: property descriptor per access.
@@ -164,6 +175,8 @@ class Transaction:
             locked=self.locked,
             deadline=self.deadline,
             data=list(self.data),
+            fault_plan=self.fault_plan,
+            retry_limit=self.retry_limit,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -22,8 +22,18 @@ from repro.traffic.trace import TraceRecord, group_by_master
 
 #: Fields that define what a transaction *is*, independent of engine
 #: timing.  ``data`` covers both directions: write payloads offered and
-#: read data returned by the memory system.
-FUNCTIONAL_FIELDS = ("kind", "addr", "beats", "size_bytes", "wrapping", "data")
+#: read data returned by the memory system.  ``resp`` folds the fault
+#: outcome in: an injected ERROR/RETRY abort must land on the same
+#: transaction at every engine.
+FUNCTIONAL_FIELDS = (
+    "kind",
+    "addr",
+    "beats",
+    "size_bytes",
+    "wrapping",
+    "data",
+    "resp",
+)
 
 
 @dataclass(frozen=True)

@@ -14,21 +14,49 @@ on the first violation instead, which is how the test suite uses them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.errors import PropertyViolation, ProtocolError
 
 
 @dataclass(frozen=True)
 class Violation:
-    """One recorded assertion failure."""
+    """One recorded assertion failure.
+
+    The provenance fields tell a triager *which run* and *which
+    transaction* produced the failure — a fuzzer report that says
+    "ordering violated" is useless without the engine, the seed and the
+    offending master/transaction.  All default to "unknown" so existing
+    checkers keep working unchanged.
+    """
 
     cycle: int
     rule: str
     detail: str
+    #: Engine level the run used (``""`` when not bound).
+    engine: str = ""
+    #: Workload seed of the run (``None`` when not bound).
+    seed: Optional[int] = None
+    #: Index of the master involved (``None`` for bus-global rules).
+    master: Optional[int] = None
+    #: uid of the transaction involved, when one is identifiable.
+    txn_uid: Optional[int] = None
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return f"[cycle {self.cycle}] {self.rule}: {self.detail}"
+        where = ""
+        context = [
+            part
+            for part in (
+                self.engine or None,
+                None if self.seed is None else f"seed {self.seed}",
+                None if self.master is None else f"master {self.master}",
+                None if self.txn_uid is None else f"txn {self.txn_uid}",
+            )
+            if part is not None
+        ]
+        if context:
+            where = f" ({', '.join(context)})"
+        return f"[cycle {self.cycle}] {self.rule}: {self.detail}{where}"
 
 
 class Checker:
@@ -42,10 +70,38 @@ class Checker:
         self.strict = strict
         self.violations: List[Violation] = []
         self.checks_run = 0
+        # Run provenance stamped onto every violation (see bind()).
+        self.engine = ""
+        self.seed: Optional[int] = None
 
-    def flag(self, cycle: int, rule: str, detail: str) -> None:
+    def bind(self, engine: str = "", seed: Optional[int] = None) -> "Checker":
+        """Attach run provenance (engine level, workload seed).
+
+        Returns ``self`` so harnesses can bind at attach time:
+        ``platform.attach(TransactionChecker().bind("rtl", seed=7))``.
+        """
+        self.engine = engine
+        self.seed = seed
+        return self
+
+    def flag(
+        self,
+        cycle: int,
+        rule: str,
+        detail: str,
+        master: Optional[int] = None,
+        txn_uid: Optional[int] = None,
+    ) -> None:
         """Record (or raise) a violation."""
-        violation = Violation(cycle=cycle, rule=rule, detail=detail)
+        violation = Violation(
+            cycle=cycle,
+            rule=rule,
+            detail=detail,
+            engine=self.engine,
+            seed=self.seed,
+            master=master,
+            txn_uid=txn_uid,
+        )
         if self.strict:
             raise self.error_type(f"{self.name}: {violation}")
         self.violations.append(violation)

@@ -68,6 +68,8 @@ class QosPropertyChecker(PropertyChecker):
                 finish,
                 "deadline",
                 f"{txn!r} finished {finish - txn.deadline} cycles late",
+                master=txn.master,
+                txn_uid=txn.uid,
             )
 
     def miss_rate(self) -> float:
@@ -94,6 +96,11 @@ class OrderingChecker(PropertyChecker):
         self, txn: Transaction, grant: int, start: int, finish: int
     ) -> None:
         self.checks_run += 1
+        if txn.resp:
+            # An errored/aborted transfer never committed (write) or
+            # returned data (read); it neither updates the shadow nor
+            # can it violate freshness.
+            return
         owner = txn.master
         addresses = transaction_addresses(txn)
         if txn.is_write:
@@ -108,6 +115,8 @@ class OrderingChecker(PropertyChecker):
                     "stale-read",
                     f"{txn!r} read {value:#x} at {addr:#x}, last completed "
                     f"write by master {owner} was {expected:#x}",
+                    master=owner,
+                    txn_uid=txn.uid,
                 )
 
     def observe_drain(self, txn: Transaction) -> None:

@@ -34,24 +34,31 @@ class TransactionChecker(Checker):
     ) -> None:
         """Observer hook: ``bus.add_observer(checker)``."""
         self.checks_run += 1
+        who = dict(master=txn.master, txn_uid=txn.uid)
         if txn.addr % txn.size_bytes:
-            self.flag(start, "alignment", f"{txn!r} misaligned")
+            self.flag(start, "alignment", f"{txn!r} misaligned", **who)
         if not txn.wrapping and crosses_kb_boundary(
             txn.addr, txn.beats, txn.size_bytes
         ):
-            self.flag(start, "kb-boundary", f"{txn!r} crosses 1KB")
+            self.flag(start, "kb-boundary", f"{txn!r} crosses 1KB", **who)
         if txn.wrapping and txn.beats not in (4, 8, 16):
-            self.flag(start, "burst-encoding", f"{txn!r} illegal wrap length")
+            self.flag(
+                start, "burst-encoding", f"{txn!r} illegal wrap length", **who
+            )
         if grant < txn.issued_at:
-            self.flag(grant, "causality", f"{txn!r} granted before issue")
+            self.flag(grant, "causality", f"{txn!r} granted before issue", **who)
         if start < grant:
-            self.flag(start, "causality", f"{txn!r} started before grant")
+            self.flag(start, "causality", f"{txn!r} started before grant", **who)
         if finish < start:
-            self.flag(finish, "causality", f"{txn!r} finished before start")
+            self.flag(finish, "causality", f"{txn!r} finished before start", **who)
         if txn.is_write and txn.data and len(txn.data) != txn.beats:
-            self.flag(start, "data-shape", f"{txn!r} beat/data mismatch")
-        if not txn.is_write and len(txn.data) != txn.beats:
-            self.flag(finish, "data-shape", f"{txn!r} read returned wrong beats")
+            self.flag(start, "data-shape", f"{txn!r} beat/data mismatch", **who)
+        if not txn.is_write and txn.resp == 0 and len(txn.data) != txn.beats:
+            # An errored/aborted read legitimately returns no data —
+            # the shape rule only applies to OKAY completions.
+            self.flag(
+                finish, "data-shape", f"{txn!r} read returned wrong beats", **who
+            )
         if self._last_finish is not None and start < self._last_finish:
             # Transfers may overlap by exactly the pipelined address
             # phase (start == previous finish); more is a protocol error.
@@ -61,6 +68,7 @@ class TransactionChecker(Checker):
                     "overlap",
                     f"{txn!r} starts {self._last_finish - start} cycles "
                     f"inside the previous transfer",
+                    **who,
                 )
         self._last_finish = max(self._last_finish or 0, finish)
 

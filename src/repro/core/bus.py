@@ -35,6 +35,7 @@ from repro.ahb.decoder import AddressMap, single_slave_map
 from repro.ahb.master import TlmMaster
 from repro.ahb.slave import TlmSlave
 from repro.ahb.transaction import Transaction
+from repro.ahb.types import HResp
 from repro.core.arbiter import AhbPlusArbiter
 from repro.core.bus_interface import BusInterface, make_routed_score
 from repro.core.config import AhbPlusConfig
@@ -205,6 +206,32 @@ class AhbPlusBusTlm:
 
     # -- serving ----------------------------------------------------------------------
 
+    def _serve_fault(self, txn: Transaction, grant_cycle: int) -> None:
+        """One faulted presentation: ERROR/RETRY instead of data beats.
+
+        The response occupies the bus for one cycle; no data moves, so
+        neither the throughput counters nor the busy accounting change,
+        and no pipelined decision is locked in (the faulted address
+        phase carries no data beats to overlap with).
+        """
+        code = txn.fault_plan[txn.fault_step]
+        txn.fault_step += 1
+        start = grant_cycle
+        finish = grant_cycle + 1
+        txn.started_at = start
+        self._pipelined = None
+        self._now = finish + 1
+        owner = self.masters[txn.master]
+        if code == int(HResp.RETRY):
+            if owner.retry(txn, finish):
+                return  # master re-requests; the next round re-arbitrates
+        else:
+            txn.resp = code
+            owner.fail(txn, finish)
+        self.qos.record_completion(txn)
+        for observer in self._observers:
+            observer(txn, grant_cycle, start, finish)
+
     def _serve(self, cand: Candidate, grant_cycle: int) -> None:
         txn = cand.txn
         txn.granted_at = grant_cycle
@@ -212,6 +239,9 @@ class AhbPlusBusTlm:
             # The head leaves the FIFO as its transfer starts, so the
             # pipelined decision made mid-transfer sees the next entry.
             self.write_buffer.pop_head(txn)
+        if txn.fault_step < len(txn.fault_plan):
+            self._serve_fault(txn, grant_cycle)
+            return
         slave, bi = self._route(txn)
         slave.idle_until(grant_cycle)
         start = bi.access_permitted_at(txn, grant_cycle)
@@ -323,6 +353,8 @@ class AhbPlusBusTlm:
             per_master_transactions=[
                 master.transactions_completed for master in self.masters
             ],
+            error_responses=sum(m.error_aborts for m in self.masters),
+            retry_responses=sum(m.retry_responses for m in self.masters),
             absorbed_writes=self.write_buffer.absorbed,
             drained_writes=self.write_buffer.drained,
             max_buffer_occupancy=self.write_buffer.max_occupancy,

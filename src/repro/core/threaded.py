@@ -21,6 +21,7 @@ from repro.ahb.decoder import AddressMap, single_slave_map
 from repro.ahb.master import TlmMaster
 from repro.ahb.slave import TlmSlave
 from repro.ahb.transaction import Transaction
+from repro.ahb.types import HResp
 from repro.core.arbiter import AhbPlusArbiter
 from repro.core.bus import AhbPlusRunResult
 from repro.core.bus_interface import BusInterface, make_routed_score
@@ -241,6 +242,10 @@ class ThreadedAhbPlusBus:
             self.write_buffer.pop_head(txn)
         else:
             self.board.remove(txn.master)
+        if txn.fault_step < len(txn.fault_plan):
+            yield from self._serve_fault_gen(txn, grant_cycle)
+            yield WaitCycles(1)
+            return None
         slave, bi = self._route(txn)
         slave.idle_until(grant_cycle)
         start = bi.access_permitted_at(txn, grant_cycle)
@@ -277,6 +282,35 @@ class ThreadedAhbPlusBus:
             yield WaitCycles(1)
         return next_decision
 
+    def _serve_fault_gen(self, txn: Transaction, grant_cycle: int) -> Iterator:
+        """One faulted presentation (mirrors ``AhbPlusBusTlm._serve_fault``).
+
+        The response occupies the bus for one cycle and no data moves:
+        no pipelined decision, no throughput/busy accounting.  The
+        master's done event is notified either way — on RETRY the master
+        thread wakes and re-posts the same transaction, on a final
+        response it moves on to its next item.
+        """
+        code = txn.fault_plan[txn.fault_step]
+        txn.fault_step += 1
+        start = grant_cycle
+        finish = grant_cycle + 1
+        txn.started_at = start
+        if finish > self.sim.now:
+            yield WaitCycles(finish - self.sim.now)
+        owner = self.masters[txn.master]
+        if code == int(HResp.RETRY):
+            if owner.retry(txn, finish):
+                self.done_events[txn.master].notify()
+                return
+        else:
+            txn.resp = code
+            owner.fail(txn, finish)
+        self.qos.record_completion(txn)
+        self.done_events[txn.master].notify()
+        for observer in self._observers:
+            observer(txn, grant_cycle, start, finish)
+
     def _try_lock(self, finish: int) -> Optional[Tuple[Candidate, int]]:
         """One pipelined sampling point at the current simulation time."""
         candidates = self._collect(self.sim.now)
@@ -311,6 +345,8 @@ class ThreadedAhbPlusBus:
             per_master_transactions=[
                 master.transactions_completed for master in self.masters
             ],
+            error_responses=sum(m.error_aborts for m in self.masters),
+            retry_responses=sum(m.retry_responses for m in self.masters),
             absorbed_writes=self.write_buffer.absorbed,
             drained_writes=self.write_buffer.drained,
             max_buffer_occupancy=self.write_buffer.max_occupancy,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional
 
+from repro.ahb.burst import transaction_footprint
 from repro.ahb.transaction import WRITE_BUFFER_MASTER, Transaction
 from repro.errors import ConfigError, SimulationError
 
@@ -59,9 +60,14 @@ class WriteBuffer:
         """Whether *txn* qualifies for posting.
 
         Only plain (unlocked) writes are buffered; locked transfers must
-        observe the bus directly.
+        observe the bus directly.  Writes with an unconsumed fault plan
+        are never posted: the slave still owes them ERROR/RETRY
+        responses, which only exist on the bus — absorbing them would
+        make the outcome engine-dependent.
         """
         if not self.enabled or txn.locked or not txn.is_write:
+            return False
+        if txn.fault_step < len(txn.fault_plan):
             return False
         if self.is_full:
             self.rejected_full += 1
@@ -128,14 +134,18 @@ class WriteBuffer:
         return False
 
     def conflicts_with(self, txn: Transaction) -> bool:
-        """True when *txn* (a read) overlaps any buffered write's bytes."""
+        """True when *txn* (a read) overlaps any buffered write's bytes.
+
+        Footprints come from :func:`~repro.ahb.burst.transaction_footprint`
+        so wrapping bursts count the bytes below their wrap point — a
+        linear ``[addr, addr+total)`` range would miss those and let a
+        wrapped read sail past a buffered write it depends on.
+        """
         if txn.is_write or not self._drains:
             return False
-        lo = txn.addr
-        hi = txn.addr + txn.total_bytes
+        lo, hi = transaction_footprint(txn)
         for pending in self._drains:
-            p_lo = pending.addr
-            p_hi = pending.addr + pending.total_bytes
+            p_lo, p_hi = transaction_footprint(pending)
             if lo < p_hi and p_lo < hi:
                 self.hazard_hits += 1
                 return True

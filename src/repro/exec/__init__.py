@@ -23,6 +23,7 @@ process backend); and record equality excludes wall time, so
 from repro.exec.records import RunRecord
 from repro.exec.runner import (
     BACKENDS,
+    ON_ERROR,
     Collector,
     SweepRunner,
     default_workers,
@@ -33,6 +34,7 @@ from repro.exec.runner import (
 __all__ = [
     "BACKENDS",
     "Collector",
+    "ON_ERROR",
     "RunRecord",
     "SweepRunner",
     "default_workers",

@@ -72,10 +72,23 @@ class RunRecord:
     drained_writes: int = 0
     rt_deadline_hits: int = 0
     rt_deadline_misses: int = 0
+    #: Fault-injection outcomes: transactions aborted with ERROR (or an
+    #: exhausted RETRY budget) and RETRY responses taken.
+    error_responses: int = 0
+    retry_responses: int = 0
     #: Collector output (see ``SweepRunner.run(collect=...)``).
     metrics: MetricItems = ()
+    #: Non-empty when the point crashed or timed out instead of running
+    #: to completion (``SweepRunner(on_error="record")``); every counter
+    #: is zero on such rows.
+    error: str = ""
     #: Wall time of the (best) run — excluded from equality.
     wall_seconds: float = field(compare=False, default=0.0)
+
+    @property
+    def failed(self) -> bool:
+        """True when this row records a crash/timeout, not a run."""
+        return bool(self.error)
 
     @property
     def utilization(self) -> float:
@@ -128,7 +141,36 @@ class RunRecord:
             drained_writes=getattr(result, "drained_writes", 0),
             rt_deadline_hits=getattr(result, "rt_deadline_hits", 0),
             rt_deadline_misses=getattr(result, "rt_deadline_misses", 0),
+            error_responses=getattr(result, "error_responses", 0),
+            retry_responses=getattr(result, "retry_responses", 0),
             metrics=_freeze_metrics(metrics),
+            wall_seconds=wall_seconds,
+        )
+
+    @classmethod
+    def from_error(
+        cls, point, error: str, wall_seconds: float = 0.0
+    ) -> "RunRecord":
+        """An error row: the point's identity plus what killed it.
+
+        Crash-tolerant sweeps (``SweepRunner(on_error="record")``) emit
+        these instead of losing the whole grid to one bad point; all
+        counters are zero and :attr:`failed` is true.
+        """
+        spec = point.spec
+        return cls(
+            label=point.label,
+            axis=point.axis,
+            value=repr(point.value),
+            engine=point.engine,
+            system=spec.name,
+            workload=spec.workload.name,
+            seed=spec.workload.seed,
+            cycles=0,
+            transactions=0,
+            bytes_transferred=0,
+            busy_cycles=0,
+            error=error,
             wall_seconds=wall_seconds,
         )
 

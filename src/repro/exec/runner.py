@@ -41,6 +41,11 @@ from repro.system.spec import SweepPoint
 #: Supported execution backends.
 BACKENDS = ("serial", "process")
 
+#: Error policies: ``"raise"`` propagates the first failing point's
+#: exception (losing the rest of the grid); ``"record"`` turns crashes
+#: (and, on the process backend, timeouts) into error rows.
+ON_ERROR = ("raise", "record")
+
 #: Collector signature: ``(point, platform, result) -> metrics dict``.
 Collector = Callable[[SweepPoint, object, object], Dict[str, object]]
 
@@ -93,13 +98,32 @@ class _PointJob:
     collect: Optional[Collector]
     repeats: int
     max_cycles: Optional[int]
+    on_error: str = "raise"
 
 
 def _execute(job: _PointJob) -> RunRecord:
     """Run one point (best-of-``repeats``) and build its record.
 
     Module-level so the process backend can ship it by reference.
+    Under ``on_error="record"`` any exception the point raises —
+    build-time config errors, drain-limit SimulationErrors, checker
+    crashes inside collectors — becomes an error row instead of killing
+    the sweep (and, on the process backend, the whole pool map).
     """
+    if job.on_error == "record":
+        start = time.perf_counter()
+        try:
+            return _execute_point(job)
+        except Exception as exc:  # noqa: BLE001 - the policy is "record"
+            return RunRecord.from_error(
+                job.point,
+                f"{type(exc).__name__}: {exc}",
+                wall_seconds=time.perf_counter() - start,
+            )
+    return _execute_point(job)
+
+
+def _execute_point(job: _PointJob) -> RunRecord:
     best_wall: Optional[float] = None
     record: Optional[RunRecord] = None
     for _ in range(max(job.repeats, 1)):
@@ -135,10 +159,27 @@ class SweepRunner:
         chunksize: Optional[int] = None,
         repeats: int = 1,
         pool: Optional["multiprocessing.pool.Pool"] = None,
+        on_error: str = "raise",
+        timeout: Optional[float] = None,
     ) -> None:
         """``pool`` lends the process backend an externally owned pool
         (see :func:`shared_pool`): the runner maps over it but never
-        closes it, so repeated runs skip the per-run fork cost."""
+        closes it, so repeated runs skip the per-run fork cost.
+
+        ``on_error="record"`` makes the sweep crash-tolerant: a point
+        that raises (or, with ``timeout=``, takes too long) yields an
+        error row (:meth:`RunRecord.from_error`) in its grid slot and
+        the remaining points still run.
+
+        ``timeout`` (seconds, process backend only — an in-process
+        point cannot be interrupted) bounds each point's *result
+        delivery*: dispatch switches to per-point ``apply_async`` and
+        a point whose record has not arrived ``timeout`` seconds after
+        the runner starts waiting on it is abandoned.  The stuck worker
+        is not killed — an owned pool is terminated when the run
+        returns; a borrowed ``pool=`` keeps its worker busy until the
+        abandoned point finishes on its own.
+        """
         if backend not in BACKENDS:
             raise ConfigError(
                 f"unknown sweep backend {backend!r}; choose from {BACKENDS}"
@@ -151,11 +192,24 @@ class SweepRunner:
             raise ConfigError(f"repeats must be positive, got {repeats}")
         if pool is not None and backend != "process":
             raise ConfigError("pool= only applies to the process backend")
+        if on_error not in ON_ERROR:
+            raise ConfigError(
+                f"unknown on_error policy {on_error!r}; choose from {ON_ERROR}"
+            )
+        if timeout is not None and timeout <= 0:
+            raise ConfigError(f"timeout must be positive, got {timeout}")
+        if timeout is not None and backend != "process":
+            raise ConfigError(
+                "timeout= needs the process backend (a point running "
+                "in-process cannot be interrupted)"
+            )
         self.backend = backend
         self.workers = workers
         self.chunksize = chunksize
         self.repeats = repeats
         self.pool = pool
+        self.on_error = on_error
+        self.timeout = timeout
 
     def _chunksize(self, jobs: int, workers: int) -> int:
         if self.chunksize is not None:
@@ -193,6 +247,7 @@ class SweepRunner:
                 max_cycles=(
                     max_cycles(point) if callable(max_cycles) else max_cycles  # type: ignore[arg-type]
                 ),
+                on_error=self.on_error,
             )
             for point in points
         ]
@@ -206,6 +261,8 @@ class SweepRunner:
             if self.workers is not None
             else default_workers(len(jobs))
         )
+        if self.timeout is not None:
+            return self._run_pool_deadline(jobs, workers)
         chunksize = self._chunksize(len(jobs), workers)
         # Pool.map preserves input order, so the merge is deterministic
         # no matter which worker finished first.
@@ -213,6 +270,48 @@ class SweepRunner:
             return self.pool.map(_execute, jobs, chunksize=chunksize)
         with multiprocessing.Pool(processes=workers) as pool:
             return pool.map(_execute, jobs, chunksize=chunksize)
+
+    def _run_pool_deadline(
+        self, jobs: Sequence[_PointJob], workers: int
+    ) -> List[RunRecord]:
+        """Per-point ``apply_async`` dispatch with a delivery deadline.
+
+        Results are still merged in grid order.  A point whose result
+        has not arrived within ``timeout`` seconds of the runner
+        starting to wait on it is treated per the ``on_error`` policy;
+        points already finished while the runner waited on an earlier
+        one collect instantly, so only genuinely stuck points pay.
+        """
+        pool = self.pool
+        owned = pool is None
+        if owned:
+            pool = multiprocessing.Pool(processes=workers)
+        try:
+            pending = [pool.apply_async(_execute, (job,)) for job in jobs]
+            records: List[RunRecord] = []
+            for job, handle in zip(jobs, pending):
+                try:
+                    records.append(handle.get(timeout=self.timeout))
+                except multiprocessing.TimeoutError:
+                    if self.on_error != "record":
+                        raise SimulationError(
+                            f"sweep point {job.point.label!r} exceeded the "
+                            f"{self.timeout}s timeout"
+                        ) from None
+                    records.append(
+                        RunRecord.from_error(
+                            job.point,
+                            f"timeout: no result within {self.timeout}s",
+                            wall_seconds=float(self.timeout),
+                        )
+                    )
+            return records
+        finally:
+            if owned:
+                # terminate(), not close(): a timed-out worker may still
+                # be grinding through its abandoned point.
+                pool.terminate()
+                pool.join()
 
 
 def run_grid(

@@ -1,0 +1,53 @@
+"""Protocol fuzzer: adversarial scenarios, cross-engine checking,
+trace-shrunk minimal repros.
+
+The fuzzer draws hostile-but-legal scenarios (wrap bursts in tight
+windows, sub-word beat mixes, pathological QoS deadlines, seeded
+ERROR/RETRY fault injection), elaborates each at several abstraction
+levels through the one :class:`~repro.system.platform.PlatformBuilder`,
+and flags three failure kinds:
+
+* **violation** — any protocol/property checker accumulated a
+  :class:`~repro.assertions.base.Violation`;
+* **divergence** — two engines disagree on a functional trace field
+  (:func:`~repro.analysis.trace_diff.trace_diff`);
+* **crash** — an engine raised (deadlock, drain-limit, internal error).
+
+On failure the offered trace is captured (PR 5's trace layer), greedily
+shrunk to a minimal still-failing record list, and archived as a
+JSON-lines repro that ``tests/test_repro_regressions.py`` auto-replays.
+"""
+
+from repro.fuzz.fuzzer import (
+    CHECKS,
+    DEFAULT_CHECKS,
+    FuzzFailure,
+    FuzzReport,
+    Fuzzer,
+    Observation,
+    replay_system,
+)
+from repro.fuzz.repro import (
+    REPRO_FORMAT,
+    Repro,
+    load_repro,
+    replay_repro,
+    save_repro,
+)
+from repro.fuzz.shrink import shrink_records
+
+__all__ = [
+    "CHECKS",
+    "DEFAULT_CHECKS",
+    "FuzzFailure",
+    "FuzzReport",
+    "Fuzzer",
+    "Observation",
+    "REPRO_FORMAT",
+    "Repro",
+    "load_repro",
+    "replay_repro",
+    "replay_system",
+    "save_repro",
+    "shrink_records",
+]

@@ -1,0 +1,106 @@
+"""CLI: ``python -m repro.fuzz --start 0 --count 50 --out repros/``.
+
+Exit status 0 means every seed fuzzed clean; 1 means failures were
+found (each printed, and archived as JSON-lines repros when ``--out``
+is given).  The fixed-seed ``make fuzz`` target relies on that exit
+code as its pass/fail verdict.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.fuzz.fuzzer import CHECKS, DEFAULT_CHECKS, DEFAULT_MAX_CYCLES, Fuzzer
+from repro.fuzz.repro import Repro, save_repro
+
+
+def _csv(raw: str):
+    return tuple(part for part in raw.split(",") if part)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Fuzz the AHB+ engines with adversarial scenarios.",
+    )
+    parser.add_argument("--start", type=int, default=0, help="first seed")
+    parser.add_argument("--count", type=int, default=50, help="seeds to fuzz")
+    parser.add_argument(
+        "--engines",
+        type=_csv,
+        default=("tlm", "plain", "rtl"),
+        help="comma-separated engine levels (first is the reference)",
+    )
+    parser.add_argument(
+        "--checks",
+        type=_csv,
+        default=DEFAULT_CHECKS,
+        help=f"comma-separated checker families from {CHECKS}",
+    )
+    parser.add_argument(
+        "--transactions",
+        type=int,
+        nargs=2,
+        default=(3, 10),
+        metavar=("LO", "HI"),
+        help="per-master transaction count range",
+    )
+    parser.add_argument(
+        "--max-cycles",
+        type=int,
+        default=DEFAULT_MAX_CYCLES,
+        help="per-run drain ceiling (hitting it reports a crash)",
+    )
+    parser.add_argument(
+        "--max-failures",
+        type=int,
+        default=None,
+        help="stop the campaign after this many failures",
+    )
+    parser.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="archive full traces instead of shrinking",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="directory to write one repro file per failure",
+    )
+    args = parser.parse_args(argv)
+
+    fuzzer = Fuzzer(
+        engines=args.engines,
+        checks=args.checks,
+        transactions=tuple(args.transactions),
+        max_cycles=args.max_cycles,
+    )
+    seeds = range(args.start, args.start + args.count)
+    report = fuzzer.run(
+        seeds, shrink=not args.no_shrink, max_failures=args.max_failures
+    )
+    print(report.summary())
+    if report.clean:
+        return 0
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        for failure in report.failures:
+            if not failure.records:
+                print(
+                    f"  seed {failure.seed}: crash before capture — "
+                    f"no repro file (keep the seed)"
+                )
+                continue
+            path = os.path.join(
+                args.out, f"seed{failure.seed}_{failure.observation.kind}.jsonl"
+            )
+            count = save_repro(Repro.from_failure(failure), path)
+            print(f"  wrote {path} ({count} records)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Repro files: a shrunk failing trace plus everything replay needs.
+
+Format — JSON-lines, one file per failure:
+
+* line 1: metadata object (``format`` marker, failure signature and
+  detail, the engines/checks that were armed, the pinned bus config,
+  master count, and the originating fuzz seed);
+* lines 2..N: one :class:`~repro.traffic.trace.TraceRecord` per line,
+  exactly the schema :func:`~repro.traffic.trace.load_trace` reads.
+
+Repro files live in ``tests/data/repros/`` and are auto-discovered by
+``tests/test_repro_regressions.py``: each must replay to the same
+failure signature it archived, forever.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Tuple
+
+from repro.core.config import AhbPlusConfig
+from repro.errors import TrafficError
+from repro.fuzz.fuzzer import (
+    DEFAULT_MAX_CYCLES,
+    FuzzFailure,
+    Fuzzer,
+    Observation,
+)
+from repro.traffic.trace import TraceRecord, record_from_payload
+
+#: Format marker of the metadata line; bump on incompatible change.
+REPRO_FORMAT = "ahbplus-fuzz-repro-v1"
+
+
+@dataclass(frozen=True)
+class Repro:
+    """One archived minimal failure."""
+
+    kind: str
+    engine: str
+    signature: Tuple[str, ...]
+    detail: str
+    seed: int
+    engines: Tuple[str, ...]
+    checks: Tuple[str, ...]
+    config: AhbPlusConfig
+    num_masters: int
+    records: Tuple[TraceRecord, ...]
+
+    @classmethod
+    def from_failure(cls, failure: FuzzFailure) -> "Repro":
+        if not failure.records:
+            raise TrafficError(
+                f"seed {failure.seed}: a crash before any capture has no "
+                f"trace to archive — keep the seed, not a repro file"
+            )
+        obs = failure.observation
+        return cls(
+            kind=obs.kind,
+            engine=obs.engine,
+            signature=obs.signature,
+            detail=obs.detail,
+            seed=failure.seed,
+            engines=failure.engines,
+            checks=failure.checks,
+            config=failure.config,
+            num_masters=failure.num_masters,
+            records=failure.records,
+        )
+
+
+def save_repro(repro: Repro, path) -> int:
+    """Write *repro* as JSON-lines; returns the record count."""
+    meta = {
+        "format": REPRO_FORMAT,
+        "kind": repro.kind,
+        "engine": repro.engine,
+        "signature": list(repro.signature),
+        "detail": repro.detail,
+        "seed": repro.seed,
+        "engines": list(repro.engines),
+        "checks": list(repro.checks),
+        "num_masters": repro.num_masters,
+        "config": repro.config.to_dict(),
+    }
+    try:
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(json.dumps(meta) + "\n")
+            for record in repro.records:
+                stream.write(json.dumps(asdict(record)) + "\n")
+    except OSError as exc:
+        raise TrafficError(f"cannot write repro {path!r}: {exc}") from exc
+    return len(repro.records)
+
+
+def load_repro(path) -> Repro:
+    """Read and fully validate a repro file."""
+    try:
+        with open(path, "r", encoding="utf-8") as stream:
+            lines = stream.readlines()
+    except OSError as exc:
+        raise TrafficError(f"cannot read repro {path!r}: {exc}") from exc
+    numbered = [
+        (line_no, line.strip())
+        for line_no, line in enumerate(lines, 1)
+        if line.strip()
+    ]
+    if not numbered:
+        raise TrafficError(f"repro {path!r} is empty")
+    meta_no, meta_line = numbered[0]
+    try:
+        meta = json.loads(meta_line)
+    except json.JSONDecodeError as exc:
+        raise TrafficError(
+            f"repro {path!r} line {meta_no}: malformed metadata: {exc}"
+        ) from exc
+    if not isinstance(meta, dict) or meta.get("format") != REPRO_FORMAT:
+        raise TrafficError(
+            f"repro {path!r}: missing/unknown format marker "
+            f"(expected {REPRO_FORMAT!r})"
+        )
+    required = {
+        "kind",
+        "engine",
+        "signature",
+        "detail",
+        "seed",
+        "engines",
+        "checks",
+        "num_masters",
+        "config",
+    }
+    missing = required - set(meta)
+    if missing:
+        raise TrafficError(
+            f"repro {path!r}: metadata missing {sorted(missing)}"
+        )
+    records: List[TraceRecord] = []
+    for line_no, line in numbered[1:]:
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TrafficError(
+                f"repro {path!r} line {line_no}: {exc}"
+            ) from exc
+        records.append(
+            record_from_payload(payload, f"repro {path!r} line {line_no}")
+        )
+    if not records:
+        raise TrafficError(f"repro {path!r} has no trace records")
+    return Repro(
+        kind=str(meta["kind"]),
+        engine=str(meta["engine"]),
+        signature=tuple(str(part) for part in meta["signature"]),
+        detail=str(meta["detail"]),
+        seed=int(meta["seed"]),
+        engines=tuple(str(engine) for engine in meta["engines"]),
+        checks=tuple(str(check) for check in meta["checks"]),
+        config=AhbPlusConfig.from_dict(meta["config"]),
+        num_masters=int(meta["num_masters"]),
+        records=tuple(records),
+    )
+
+
+def replay_repro(
+    repro: Repro, max_cycles: int = DEFAULT_MAX_CYCLES
+) -> "Observation | None":
+    """Re-run an archived repro with its original engines/checks.
+
+    Returns the observed failure (``None`` when the repro no longer
+    fails — i.e. the archived bug is fixed or has regressed into
+    silence; the regression test treats both as test failures so the
+    file gets consciously re-triaged, not silently carried).
+    """
+    fuzzer = Fuzzer(
+        engines=repro.engines,
+        checks=repro.checks,
+        max_cycles=max_cycles,
+    )
+    return fuzzer.observe_replay(
+        repro.config, repro.num_masters, repro.records, seed=repro.seed
+    )

@@ -1,0 +1,125 @@
+"""Greedy trace shrinking (delta debugging over offered records).
+
+Given a failing record list and a ``still_fails`` oracle, the shrinker
+first removes records ddmin-style (chunks of halving granularity, then
+singles), then simplifies the survivors field-wise (truncate fault
+plans, drop deadlines, collapse bursts to single beats).  Every
+accepted candidate re-validates through
+:func:`~repro.traffic.trace.record_from_payload`, so the minimal trace
+is guaranteed to load back from its JSON-lines repro file.
+
+The oracle is called with a *candidate list* and must return ``True``
+only when the candidate reproduces the **same** failure (signature
+equality, not mere "something failed") — otherwise shrinking can walk
+to a different bug and archive a mislabelled repro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import TrafficError
+from repro.traffic.trace import TraceRecord, record_from_payload
+
+#: Oracle signature: candidate records -> "still the same failure".
+StillFails = Callable[[Sequence[TraceRecord]], bool]
+
+
+def _valid(record: TraceRecord) -> bool:
+    try:
+        record_from_payload(asdict(record), "shrink candidate")
+    except TrafficError:
+        return False
+    return True
+
+
+def _simplified_variants(record: TraceRecord) -> List[TraceRecord]:
+    """Strictly-simpler versions of one record, most aggressive first."""
+    variants: List[TraceRecord] = []
+    if record.fault_plan:
+        # No fault at all beats a shorter plan; try both.
+        variants.append(replace(record, fault_plan=(), resp=0))
+        if len(record.fault_plan) > 1:
+            variants.append(replace(record, fault_plan=record.fault_plan[:1]))
+    if record.deadline is not None:
+        variants.append(replace(record, deadline=None))
+    if record.beats > 1:
+        variants.append(
+            replace(
+                record,
+                beats=1,
+                wrapping=False,
+                data=list(record.data[:1]),
+            )
+        )
+    return [variant for variant in variants if _valid(variant)]
+
+
+def _drop_pass(
+    records: List[TraceRecord], still_fails: StillFails
+) -> List[TraceRecord]:
+    """ddmin-style removal: chunks of halving size down to singles."""
+    granularity = 2
+    while len(records) >= 2:
+        chunk = max(1, len(records) // granularity)
+        removed = False
+        start = 0
+        while start < len(records):
+            candidate = records[:start] + records[start + chunk :]
+            if candidate and still_fails(candidate):
+                records = candidate
+                removed = True
+                # Same start: the next chunk shifted into place.
+            else:
+                start += chunk
+        if removed:
+            # Finer granularity often unlocks after a removal round.
+            granularity = max(2, min(granularity, len(records)))
+            if chunk == 1:
+                continue
+        if chunk == 1:
+            break
+        granularity = min(granularity * 2, len(records))
+    return records
+
+
+def _simplify_pass(
+    records: List[TraceRecord], still_fails: StillFails
+) -> List[TraceRecord]:
+    """Per-record field simplification, greedy and order-stable."""
+    for index in range(len(records)):
+        for variant in _simplified_variants(records[index]):
+            candidate = list(records)
+            candidate[index] = variant
+            if still_fails(candidate):
+                records = candidate
+                # Re-derive variants from the accepted simpler record.
+                for again in _simplified_variants(records[index]):
+                    candidate = list(records)
+                    candidate[index] = again
+                    if still_fails(candidate):
+                        records = candidate
+                break
+    return records
+
+
+def shrink_records(
+    records: Sequence[TraceRecord], still_fails: StillFails
+) -> Tuple[TraceRecord, ...]:
+    """Minimise a failing record list under the *still_fails* oracle.
+
+    Returns the input unchanged when the failure does not reproduce
+    from the full list (e.g. a host-flaky crash): a repro that cannot
+    replay is not worth "minimising" into noise.
+    """
+    current = list(records)
+    if not current or not still_fails(current):
+        return tuple(records)
+    current = _drop_pass(current, still_fails)
+    current = _simplify_pass(current, still_fails)
+    # Simplification may have unlocked further removals (e.g. dropping
+    # a fault plan made a retry-storm filler record redundant).
+    if len(current) >= 2:
+        current = _drop_pass(current, still_fails)
+    return tuple(current)

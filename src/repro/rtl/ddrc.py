@@ -165,6 +165,13 @@ class DdrcRtl:
         self.scheduler = CommandScheduler(timing, self.banks)
         self.queue: List[RtlAccess] = []
         self._stream: Optional[_Stream] = None
+        # Latched fault response (HFAULT sideband): fired over the
+        # response channel on the first cycle the data path is free —
+        # a pipelined address phase can overlap the previous transfer's
+        # final beat, and the response must not collide with it.
+        self._fault_resp = 0
+        self._fault_owner = NO_OWNER
+        self._fault_clear = False
         self._refresh_counter = timing.t_refi
         self._refresh_pending = False
         #: Quiescence handle, bound by the platform builder; the refresh
@@ -350,6 +357,29 @@ class DdrcRtl:
         size_bytes = 1 << self.bus.hsize.value
         burst = HBurst(self.bus.hburst.value)
         owner = self.bus.addr_owner.value
+        fault = self.bus.hfault.value
+        if fault:
+            # Seeded fault injection: answer with ERROR/RETRY instead of
+            # accepting the burst.  A BI announcement may already have
+            # prepared this access (bank opened early) — drop it, or the
+            # controller never drains.
+            for access in self.queue:
+                if access.prepared and not access.bus_started and access.matches(
+                    addr, is_write, beats
+                ):
+                    for segment in access.segments:
+                        if segment in self.scheduler.queue:
+                            self.scheduler.queue.remove(segment)
+                    self.queue.remove(access)
+                    break
+            if self._fault_resp:
+                raise SimulationError(
+                    "DDRC: address phase faulted while a fault response "
+                    "is still pending"
+                )
+            self._fault_resp = fault
+            self._fault_owner = owner
+            return
         for access in self.queue:
             if access.prepared and not access.bus_started and access.matches(
                 addr, is_write, beats
@@ -501,9 +531,25 @@ class DdrcRtl:
                     final_beat_next = remaining == 1
             # Data phase not entered yet: hready/owner/remaining keep
             # their idle values this cycle.
+        # Fire the latched fault response on the first free-data-path
+        # cycle (a deferred fire only happens under pipelined overlap,
+        # where the previous transfer's final beat owns the response
+        # channel one more cycle).
+        hresp = 0
+        if self._fault_resp and not hready:
+            hready = 1
+            owner = self._fault_owner
+            hresp = self._fault_resp
+            self._fault_resp = 0
+            self._fault_owner = NO_OWNER
+            self._fault_clear = True
+        elif self._fault_clear:
+            self._fault_clear = False
         # Hand-inlined lazy drives: these outputs re-derive mostly
         # stable values every single cycle, so the compare happens here
         # and drive_next only runs on an actual change.
+        if out.hresp.value != hresp:
+            out.hresp.drive_next(hresp)
         if out.hready.value != hready:
             out.hready.drive_next(hready)
         if out.stream_owner.value != owner:
@@ -512,6 +558,11 @@ class DdrcRtl:
             out.ddr_remaining.drive_next(remaining)
         started = self._bus_started
         available = 1 if started == 0 or (started == 1 and final_beat_next) else 0
+        if self._fault_resp:
+            # Response still owed: hold new address phases off the bus
+            # (the single response latch must fire before another phase
+            # can fault).
+            available = 0
         if out.bus_available.value != available:
             out.bus_available.drive_next(available)
         busy = 1 if started else 0
@@ -552,6 +603,8 @@ class DdrcRtl:
         if (
             self._stream is None
             and not self.queue
+            and not self._fault_resp
+            and not self._fault_clear
             and not self._refresh_pending
             and not self.bi.next_valid.value
             and self.bus.htrans.value != _NONSEQ
@@ -567,5 +620,10 @@ class DdrcRtl:
 
     @property
     def idle(self) -> bool:
-        """No queued or streaming work."""
-        return not self.queue and self._stream is None
+        """No queued or streaming work (nor a fault response in flight)."""
+        return (
+            not self.queue
+            and self._stream is None
+            and not self._fault_resp
+            and not self._fault_clear
+        )

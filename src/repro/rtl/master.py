@@ -29,7 +29,7 @@ from typing import List, Optional
 
 from repro.ahb.master import TlmMaster
 from repro.ahb.transaction import Transaction
-from repro.ahb.types import HTrans
+from repro.ahb.types import HResp, HTrans
 from repro.kernel.cycle import CycleEngine, NULL_SEQ_HANDLE
 from repro.rtl.signals import MasterSignals, SharedBusSignals
 
@@ -106,8 +106,14 @@ class MasterRtl:
             self.sig.hburst.drive(int(txn.burst))
             self.sig.hlen.drive(txn.beats)
             self.sig.hsize.drive(int(txn.hsize))
+            self.sig.hfault.drive(
+                txn.fault_plan[txn.fault_step]
+                if txn.fault_step < len(txn.fault_plan)
+                else 0
+            )
         else:
             self.sig.htrans.drive(int(HTrans.IDLE))
+            self.sig.hfault.drive(0)
         if (
             self.state is MasterState.DATA
             and txn is not None
@@ -185,6 +191,25 @@ class MasterRtl:
             bool(self.bus.hready.value)
             and self.bus.stream_owner.value == self.index
         ):
+            resp = self.bus.hresp.value
+            if resp:
+                # Fault response instead of a data beat: the slave
+                # answered the address phase with ERROR/RETRY.  The
+                # plan entry was consumed; on RETRY the master drops
+                # back to REQUEST and re-arbitrates, otherwise the
+                # transfer is aborted with its response recorded.
+                txn.fault_step += 1
+                if resp == int(HResp.RETRY) and self.agent.retry(txn, now):
+                    self.state = MasterState.REQUEST
+                    self._beat = 0
+                    self._captured = []
+                    return
+                if resp != int(HResp.RETRY):
+                    txn.resp = resp
+                    self.agent.fail(txn, now)
+                self._txn = None
+                self.state = MasterState.IDLE
+                return
             if not txn.is_write:
                 self._captured.append(self.bus.hrdata.value)
             self._beat += 1

@@ -48,6 +48,7 @@ class BusMux:
                     bundle.hburst,
                     bundle.hlen,
                     bundle.hsize,
+                    bundle.hfault,
                 )
             )
             data_sens.append(bundle.hwdata)
@@ -69,9 +70,11 @@ class BusMux:
             self.bus.hburst.drive(driver.hburst.value)
             self.bus.hlen.drive(driver.hlen.value)
             self.bus.hsize.drive(driver.hsize.value)
+            self.bus.hfault.drive(driver.hfault.value)
             self.bus.addr_owner.drive(driver.index)
         else:
             self.bus.htrans.drive(int(HTrans.IDLE))
+            self.bus.hfault.drive(0)
             self.bus.addr_owner.drive(NO_OWNER)
 
     def evaluate_wdata(self) -> None:
@@ -115,6 +118,7 @@ class ResponseMux:
             sens.extend(
                 (
                     resp.hready,
+                    resp.hresp,
                     resp.hrdata,
                     resp.stream_owner,
                     resp.bus_available,
@@ -128,6 +132,7 @@ class ResponseMux:
         """Drive the shared response signals from the slave bundles."""
         bus = self.bus
         hready = 0
+        hresp = 0
         owner = NO_OWNER
         available = 1
         busy = 0
@@ -135,6 +140,7 @@ class ResponseMux:
         for resp in self.responses:
             if not hready and resp.hready.value:
                 hready = 1
+                hresp = resp.hresp.value
                 owner = resp.stream_owner.value
                 bus.hrdata.drive(resp.hrdata.value)
             if not resp.bus_available.value:
@@ -144,6 +150,7 @@ class ResponseMux:
             if resp.ddr_remaining.value > remaining:
                 remaining = resp.ddr_remaining.value
         bus.hready.drive(hready)
+        bus.hresp.drive(hresp)
         bus.stream_owner.drive(owner)
         bus.bus_available.drive(available)
         bus.ddr_busy.drive(busy)

@@ -157,6 +157,8 @@ class RtlPlatform:
             per_master_transactions=[
                 agent.transactions_completed for agent in self.agents
             ],
+            error_responses=sum(a.error_aborts for a in self.agents),
+            retry_responses=sum(a.retry_responses for a in self.agents),
             absorbed_writes=self.write_buffer.absorbed,
             drained_writes=self.write_buffer.drained,
             max_buffer_occupancy=self.write_buffer.max_occupancy,

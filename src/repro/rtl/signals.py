@@ -37,6 +37,11 @@ class MasterSignals(SignalBundle):
         self.hlen = self.make("hlen", width=8, reset=1)  # AHB+ sideband beats
         self.hsize = self.make("hsize", width=3)
         self.hwdata = self.make("hwdata", width=32)
+        #: AHB+ sideband: fault-plan response the addressed slave must
+        #: answer this presentation with (testbench fault injection; 0 =
+        #: no fault).  Rides next to HLEN — the fault plan lives on the
+        #: transaction, so the master carries it to the slave.
+        self.hfault = self.make("hfault", width=2)
 
 
 class SharedBusSignals(SignalBundle):
@@ -50,6 +55,7 @@ class SharedBusSignals(SignalBundle):
         self.hburst = self.make("hburst", width=3)
         self.hlen = self.make("hlen", width=8, reset=1)
         self.hsize = self.make("hsize", width=3)
+        self.hfault = self.make("hfault", width=2)
         self.hwdata = self.make("hwdata", width=bus_width_bits)
         self.hrdata = self.make("hrdata", width=bus_width_bits)
         self.hready = self.make("hready", reset=1)
@@ -81,6 +87,7 @@ class SlaveResponseSignals(SignalBundle):
     def __init__(self, name: str, bus_width_bits: int = 32) -> None:
         super().__init__(f"s{name}")
         self.hready = self.make("hready")
+        self.hresp = self.make("hresp", width=2)
         self.hrdata = self.make("hrdata", width=bus_width_bits)
         self.stream_owner = self.make("stream_owner", width=8, reset=NO_OWNER)
         #: An address phase presented this cycle will be accepted.

@@ -89,6 +89,12 @@ class StaticSlaveRtl:
         self.size = size
         self.memory = memory if memory is not None else MemoryModel(f"{name}.mem")
         self._access: Optional[_StaticAccess] = None
+        # Latched fault response (HFAULT sideband of an address phase):
+        # fired over the response channel the cycle after the claim,
+        # then driven back down.
+        self._fault_resp = 0
+        self._fault_owner = NO_OWNER
+        self._fault_clear = False
         #: Quiescence handle, bound by the platform builder (woken by
         #: the bus ``htrans`` edge of a new address phase).
         self.seq = NULL_SEQ_HANDLE
@@ -100,7 +106,7 @@ class StaticSlaveRtl:
     @property
     def idle(self) -> bool:
         """No burst in flight (the platform's drain check)."""
-        return self._access is None
+        return self._access is None and not self._fault_resp and not self._fault_clear
 
     def peek_word(self, addr: int, size_bytes: int = 4) -> int:
         """Read the backing store without modelling timing (tests)."""
@@ -115,8 +121,15 @@ class StaticSlaveRtl:
         self._drive_outputs(now)
         # A NONSEQ this cycle (even one claimed by another slave) keeps
         # the slave awake one more cycle: back-to-back address phases
-        # produce no htrans edge for the wake watcher to catch.
-        if self._access is None and self.bus.htrans.value != _NONSEQ:
+        # produce no htrans edge for the wake watcher to catch.  A
+        # pending/just-fired fault response also keeps us awake — the
+        # response signals still have to be driven back down.
+        if (
+            self._access is None
+            and self.bus.htrans.value != _NONSEQ
+            and not self._fault_resp
+            and not self._fault_clear
+        ):
             self.seq.idle()
 
     def _process_beat(self, now: int) -> None:
@@ -142,6 +155,14 @@ class StaticSlaveRtl:
             return
         addr = self.bus.haddr.value
         if not self.accepts(addr):
+            return
+        fault = self.bus.hfault.value
+        if fault:
+            # Seeded fault injection: answer this presentation with
+            # ERROR/RETRY instead of accepting the burst.  The response
+            # fires over the response channel next cycle.
+            self._fault_resp = fault
+            self._fault_owner = self.bus.addr_owner.value
             return
         if self._access is not None:
             raise SimulationError(
@@ -199,3 +220,17 @@ class StaticSlaveRtl:
             out.ddr_remaining.drive_next_lazy(access.beats - access.beats_done)
         else:
             out.ddr_remaining.drive_next_lazy(0)
+        if self._fault_resp:
+            # Fire the latched fault response: one hready cycle aimed at
+            # the faulting owner, HRESP carrying the code.  An accepted
+            # phase always finds the data path free (bus_available
+            # gating), so this never overrides a real beat.
+            out.hready.drive_next_lazy(1)
+            out.hresp.drive_next(self._fault_resp)
+            out.stream_owner.drive_next_lazy(self._fault_owner)
+            self._fault_resp = 0
+            self._fault_owner = NO_OWNER
+            self._fault_clear = True
+        elif self._fault_clear:
+            out.hresp.drive_next(0)
+            self._fault_clear = False

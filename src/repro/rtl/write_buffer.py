@@ -91,8 +91,12 @@ class BufferMasterRtl:
             self.sig.hburst.drive(int(txn.burst))
             self.sig.hlen.drive(txn.beats)
             self.sig.hsize.drive(int(txn.hsize))
+            # Drains never carry a fault plan (the buffer refuses writes
+            # with unconsumed plans), so the sideband is always clean.
+            self.sig.hfault.drive(0)
         else:
             self.sig.htrans.drive(int(HTrans.IDLE))
+            self.sig.hfault.drive(0)
         if (
             self.state is DrainState.DATA
             and txn is not None

@@ -158,9 +158,23 @@ class PlatformBuilder:
                 return index
         raise ConfigError(f"system {self.spec.name}: no DDR slave")
 
+    def _slave_faults(self, cfg: AhbPlusConfig):
+        """Fault specs declared on slaves, windowed to their regions.
+
+        Fault plans are stamped on transactions at traffic-build time
+        (identically at every engine level), so slave-side fault models
+        are folded into the masters' injector chain here rather than
+        into the slave models themselves.
+        """
+        return tuple(
+            sspec.fault.windowed(sspec.base, sspec.size)
+            for sspec in self.spec.resolved_slaves(cfg)
+            if sspec.fault is not None
+        )
+
     def _build_tlm(self, cfg: AhbPlusConfig, threaded: bool) -> TlmPlatform:
         workload = self.spec.workload
-        masters = workload.build_masters()
+        masters = workload.build_masters(extra_faults=self._slave_faults(cfg))
         slaves = self._tlm_slaves(cfg)
         ddrc = slaves[self._ddr_index(cfg)]
         assert isinstance(ddrc, DdrControllerTlm)
@@ -178,7 +192,7 @@ class PlatformBuilder:
 
     def _build_plain(self, cfg: AhbPlusConfig) -> PlainPlatform:
         workload = self.spec.workload
-        masters = workload.build_masters()
+        masters = workload.build_masters(extra_faults=self._slave_faults(cfg))
         slaves = self._tlm_slaves(cfg)
         ddrc = slaves[self._ddr_index(cfg)]
         assert isinstance(ddrc, DdrControllerTlm)
@@ -209,7 +223,7 @@ class PlatformBuilder:
         engine = CycleEngine(
             name=f"rtl:{workload.name}", sensitivity=not full_sweep
         )
-        agents = workload.build_masters()
+        agents = workload.build_masters(extra_faults=self._slave_faults(cfg))
 
         bus = SharedBusSignals(bus_width_bits=cfg.bus_width_bytes * 8)
         bi = BiSignals()

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.ahb.decoder import AddressMap
 from repro.core.config import AhbPlusConfig
 from repro.errors import ConfigError
+from repro.traffic.faults import FaultSpec
 from repro.traffic.workloads import Workload
 
 #: Slave model kinds a :class:`SlaveSpec` may name.
@@ -57,6 +58,9 @@ class SlaveSpec:
     wait_states: int = 1
     burst_wait_states: int = 0
     setup_cycles: int = 4
+    #: Seeded fault model for this slave: transfers into its region may
+    #: be answered with ERROR/RETRY (window defaults to the region).
+    fault: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if self.kind not in SLAVE_KINDS:
@@ -85,11 +89,22 @@ class SlaveSpec:
         return self.base <= addr < self.end
 
     def to_dict(self) -> Dict[str, object]:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        payload = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "fault"
+        }
+        payload["fault"] = None if self.fault is None else self.fault.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SlaveSpec":
-        return cls(**data)  # type: ignore[arg-type]
+        data = dict(data)
+        raw_fault = data.pop("fault", None)
+        return cls(
+            fault=None if raw_fault is None else FaultSpec.from_dict(raw_fault),
+            **data,  # type: ignore[arg-type]
+        )
 
 
 @dataclass(frozen=True)

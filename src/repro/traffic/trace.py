@@ -81,6 +81,18 @@ class TraceRecord:
     #: e.g. a write absorbed in the same cycle its successor issues.
     #: Not comparable across captures; ``None`` on legacy traces.
     uid: Optional[int] = None
+    #: Final AHB response code (:class:`~repro.ahb.types.HResp` value):
+    #: ``0`` OKAY, ``1`` ERROR (slave error or retry budget exhausted),
+    #: ``2`` RETRY.  Part of the functional outcome a replay must
+    #: reproduce.  Defaults keep pre-fault traces loadable.
+    resp: int = 0
+    #: Seeded fault plan the injector stamped on the transaction (one
+    #: non-OKAY response code per bus presentation).  Replay restores
+    #: it verbatim so the archived failure re-occurs deterministically,
+    #: independent of the workload's fault spec.
+    fault_plan: Tuple[int, ...] = ()
+    #: RETRY budget before the master aborts (restored on replay).
+    retry_limit: int = 4
 
     @classmethod
     def from_transaction(cls, txn: Transaction) -> "TraceRecord":
@@ -99,11 +111,20 @@ class TraceRecord:
             via_write_buffer=txn.via_write_buffer,
             deadline=txn.deadline,
             uid=txn.uid,
+            resp=txn.resp,
+            fault_plan=tuple(txn.fault_plan),
+            retry_limit=txn.retry_limit,
         )
 
 
 _RECORD_FIELDS = {f.name for f in fields(TraceRecord)}
-_REQUIRED_FIELDS = _RECORD_FIELDS - {"deadline", "uid"}
+_REQUIRED_FIELDS = _RECORD_FIELDS - {
+    "deadline",
+    "uid",
+    "resp",
+    "fault_plan",
+    "retry_limit",
+}
 #: ``(name, may_be_negative)`` — the cycle stamps use ``-1`` for
 #: "never happened" (an absorbed write was never granted the bus).
 _INT_FIELDS = (
@@ -180,6 +201,26 @@ def record_from_payload(
             f"{where}: field 'uid' must be null or a non-negative "
             f"integer, got {uid!r}"
         )
+    resp = payload.get("resp", 0)
+    if not _is_int(resp) or not 0 <= resp <= 3:
+        raise TrafficError(
+            f"{where}: field 'resp' must be an HResp code (0..3), "
+            f"got {resp!r}"
+        )
+    fault_plan = payload.get("fault_plan", ())
+    if not isinstance(fault_plan, (list, tuple)) or not all(
+        _is_int(code) and code in (1, 2) for code in fault_plan
+    ):
+        raise TrafficError(
+            f"{where}: field 'fault_plan' must be a list of ERROR(1)/"
+            f"RETRY(2) codes, got {fault_plan!r}"
+        )
+    retry_limit = payload.get("retry_limit", 4)
+    if not _is_int(retry_limit) or retry_limit < 0:
+        raise TrafficError(
+            f"{where}: field 'retry_limit' must be a non-negative "
+            f"integer, got {retry_limit!r}"
+        )
     beats = payload["beats"]
     size_bytes = payload["size_bytes"]
     if beats < 1:
@@ -227,6 +268,9 @@ def record_from_payload(
         via_write_buffer=payload["via_write_buffer"],
         deadline=deadline,
         uid=uid,
+        resp=resp,
+        fault_plan=tuple(fault_plan),
+        retry_limit=retry_limit,
     )
 
 
@@ -336,9 +380,13 @@ def load_trace(stream: TextIO) -> List[TraceRecord]:
 
     Every line is fully validated (field presence, types, value ranges,
     access-kind strings); any malformation raises :class:`TrafficError`
-    naming the offending line.
+    naming the offending line.  Duplicate uids are rejected too — the
+    uid is the issue-order tie-breaker, and a trace that reuses one
+    (e.g. two captures concatenated by accident) would replay in an
+    order the capture never had.
     """
     records = []
+    seen_uids: Dict[int, int] = {}
     for line_no, line in enumerate(stream, 1):
         line = line.strip()
         if not line:
@@ -349,7 +397,15 @@ def load_trace(stream: TextIO) -> List[TraceRecord]:
             raise TrafficError(
                 f"malformed trace line {line_no}: {exc}"
             ) from exc
-        records.append(record_from_payload(payload, f"trace line {line_no}"))
+        record = record_from_payload(payload, f"trace line {line_no}")
+        if record.uid is not None:
+            first = seen_uids.setdefault(record.uid, line_no)
+            if first != line_no:
+                raise TrafficError(
+                    f"trace line {line_no}: duplicate uid {record.uid} "
+                    f"(first seen on line {first})"
+                )
+        records.append(record)
     return records
 
 
@@ -432,6 +488,11 @@ def replay_items(
             # by the slave, and carrying the captured words along would
             # mask a functional divergence the replay should expose.
             data=list(record.data) if record.kind == AccessKind.WRITE.value else [],
+            # Restore the archived fault plan verbatim (the injector
+            # leaves pre-stamped plans alone), so the captured
+            # ERROR/RETRY sequence re-occurs on replay.
+            fault_plan=tuple(record.fault_plan),
+            retry_limit=record.retry_limit,
         )
         items.append(
             TrafficItem(

@@ -21,6 +21,7 @@ from repro.ahb.master import TlmMaster
 from repro.ahb.transaction import WRITE_BUFFER_MASTER
 from repro.core.qos import QosSetting
 from repro.errors import TrafficError
+from repro.traffic.faults import FaultInjector, FaultSpec
 from repro.traffic.generator import generate_items, stream_items
 from repro.traffic.streams import GENERATION_MODES
 from repro.traffic.patterns import (
@@ -96,6 +97,9 @@ class Workload:
     #: (build via :meth:`from_trace`).
     source: str = "synthetic"
     trace: Optional[TraceSource] = None
+    #: Workload-wide fault model (seeded ERROR/RETRY injection on every
+    #: slave); slave-scoped models ride on ``SlaveSpec.fault`` instead.
+    fault: Optional[FaultSpec] = None
 
     def __post_init__(self) -> None:
         if not self.masters:
@@ -132,7 +136,9 @@ class Workload:
             if spec.qos.real_time
         }
 
-    def build_masters(self) -> List[TlmMaster]:
+    def build_masters(
+        self, extra_faults: Sequence[FaultSpec] = ()
+    ) -> List[TlmMaster]:
         """Instantiate fresh traffic agents (one run's worth).
 
         Compat mode materialises items eagerly (bit-exact legacy
@@ -142,7 +148,26 @@ class Workload:
         level gets the identical per-master item sequence, issue-order
         sorted, with the original issue cycles as ``not_before``
         constraints when the source preserves them.
+
+        ``extra_faults`` carries slave-scoped fault models the platform
+        builder collected from the system spec; together with the
+        workload's own :attr:`fault` they are stamped onto the items at
+        build time — identically at every engine level, which is what
+        keeps injected ERROR/RETRY sequences cross-engine deterministic.
+        Transactions replayed from a trace keep any restored plan
+        (restored plans win over fresh stamping).
         """
+        specs: Tuple[FaultSpec, ...] = tuple(
+            s
+            for s in (self.fault, *extra_faults)
+            if s is not None and s.active
+        )
+
+        def wrap(items, index: int):
+            if not specs:
+                return items
+            return FaultInjector(items, index, specs)
+
         if self.source == "trace":
             assert self.trace is not None  # __post_init__ invariant
             grouped = group_by_master(self.trace.resolve())
@@ -161,10 +186,13 @@ class Workload:
                 TlmMaster(
                     index,
                     spec.name,
-                    replay_items(
-                        grouped.get(index, ()),
+                    wrap(
+                        replay_items(
+                            grouped.get(index, ()),
+                            index,
+                            preserve_issue_times=self.trace.preserve_issue_times,
+                        ),
                         index,
-                        preserve_issue_times=self.trace.preserve_issue_times,
                     ),
                 )
                 for index, spec in enumerate(self.masters)
@@ -183,7 +211,7 @@ class Workload:
                     self.seed,
                     mode=self.gen_mode,
                 )
-            agents.append(TlmMaster(index, spec.name, items))
+            agents.append(TlmMaster(index, spec.name, wrap(items, index)))
         return agents
 
     def scaled(self, factor: float) -> "Workload":
@@ -214,6 +242,8 @@ class Workload:
         }
         if self.trace is not None:
             payload["trace"] = self.trace.to_dict()
+        if self.fault is not None:
+            payload["fault"] = self.fault.to_dict()
         return payload
 
     @classmethod
@@ -223,6 +253,7 @@ class Workload:
         if missing:
             raise TrafficError(f"Workload needs fields {sorted(missing)}")
         raw_trace = data.get("trace")
+        raw_fault = data.get("fault")
         return cls(
             name=data["name"],
             masters=tuple(
@@ -233,6 +264,9 @@ class Workload:
             source=str(data.get("source", "synthetic")),
             trace=(
                 None if raw_trace is None else TraceSource.from_dict(raw_trace)
+            ),
+            fault=(
+                None if raw_fault is None else FaultSpec.from_dict(raw_fault)
             ),
         )
 

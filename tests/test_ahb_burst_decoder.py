@@ -6,6 +6,7 @@ from hypothesis import given, strategies as st
 from repro.ahb.burst import (
     KB_BOUNDARY,
     beat_addresses,
+    burst_footprint,
     check_burst_legal,
     crosses_kb_boundary,
     split_at_kb_boundary,
@@ -53,6 +54,31 @@ class TestBeatAddresses:
             assert len(set(addrs)) == beats
         else:
             assert addrs == sorted(addrs)
+
+
+class TestBurstFootprint:
+    def test_incrementing_is_linear(self):
+        assert burst_footprint(0x20, 4, 4) == (0x20, 0x30)
+
+    def test_wrapping_is_the_aligned_block(self):
+        # WRAP8 of 4-byte beats at 0x290 touches the whole [0x280,0x2a0)
+        # block — including the bytes *below* the start address.
+        assert burst_footprint(0x290, 8, 4, wrapping=True) == (0x280, 0x2A0)
+
+    @given(
+        addr_words=st.integers(min_value=0, max_value=10_000),
+        beats=st.sampled_from([1, 4, 8, 16]),
+        size=st.sampled_from([1, 2, 4, 8]),
+        wrapping=st.booleans(),
+    )
+    def test_footprint_covers_exactly_the_beat_addresses(
+        self, addr_words, beats, size, wrapping
+    ):
+        addr = addr_words * size
+        lo, hi = burst_footprint(addr, beats, size, wrapping)
+        touched = beat_addresses(addr, beats, size, wrapping)
+        assert all(lo <= a and a + size <= hi for a in touched)
+        assert hi - lo == beats * size
 
 
 class TestKbBoundary:

@@ -130,6 +130,37 @@ class TestWriteBuffer:
         buffer.absorb(write(0, 0x100), 0)
         assert not buffer.conflicts_with(write(1, 0x100))
 
+    def test_wrapping_read_hazards_below_its_start(self):
+        """Fuzzer-found RAW bug: a wrap burst's footprint is the whole
+        aligned block, so a wrapped read depends on buffered writes at
+        addresses *below* its start — the linear [addr, addr+total)
+        range used to miss them and serve the read stale memory."""
+        buffer = WriteBuffer()
+        # Posted write covering 0x280..0x28f.
+        buffer.absorb(write(0, 0x280, (1, 2, 3, 4)), 0)
+        # wrap8 x4B read starting at 0x290: wraps inside [0x280, 0x2a0).
+        wrapped = Transaction(
+            master=1, kind=AccessKind.READ, addr=0x290, beats=8, wrapping=True
+        )
+        assert buffer.conflicts_with(wrapped)
+        # The linear range [0x290, 0x2b0) alone would be disjoint:
+        linear = read(1, 0x290, beats=8)
+        assert buffer.conflicts_with(linear) is False
+
+    def test_wrapping_buffered_write_hazards_below_its_start(self):
+        buffer = WriteBuffer()
+        wrapped_write = Transaction(
+            master=0,
+            kind=AccessKind.WRITE,
+            addr=0x298,
+            beats=4,
+            wrapping=True,
+            data=[1, 2, 3, 4],
+        )
+        buffer.absorb(wrapped_write, 0)  # footprint [0x290, 0x2a0)
+        assert buffer.conflicts_with(read(1, 0x294))
+        assert not buffer.conflicts_with(read(1, 0x2A4))
+
     def test_stats(self):
         buffer = WriteBuffer(depth=2)
         d = buffer.absorb(write(), 0)

@@ -1,0 +1,282 @@
+"""Seeded fault injection: error-capable slaves at every engine.
+
+Pins the tentpole acceptance criterion: a workload (or slave) with an
+injected :class:`~repro.traffic.faults.FaultSpec` runs at TLM,
+threaded-TLM, plain-AHB and RTL with the identical per-transaction
+``(master, kind, addr, resp)`` sequence and identical error/retry
+counters — fault plans are stamped at traffic-build time from
+``(seed, master, ordinal)``, never drawn from engine state.
+"""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.ahb.types import HResp
+from repro.analysis import trace_diff
+from repro.assertions.protocol import TransactionChecker
+from repro.errors import ConfigError
+from repro.system import PlatformBuilder
+from repro.system.spec import LEVELS, BusSpec, SlaveSpec, SystemSpec
+from repro.traffic import (
+    FaultSpec,
+    MasterSpec,
+    TraceRecorder,
+    TrafficPattern,
+    Workload,
+    load_trace_file,
+    plan_for,
+    save_trace,
+)
+from repro.traffic.trace import record_from_payload
+
+
+def _pattern(index, read_fraction=0.5):
+    return TrafficPattern(
+        name=f"flt-m{index}",
+        read_fraction=read_fraction,
+        burst_mix=((1, 0.3), (4, 0.4), (8, 0.3)),
+        think_range=(0, 2),
+        base_addr=index << 16,
+        addr_span=1 << 12,
+        sequential_fraction=0.5,
+        size_bytes=4,
+    )
+
+
+def _faulty_workload(transactions=24, fault=None):
+    if fault is None:
+        fault = FaultSpec(
+            seed=11, error_rate=0.2, retry_rate=0.3, max_retries=2, retry_limit=3
+        )
+    masters = tuple(
+        MasterSpec(f"m{index}", _pattern(index), transactions)
+        for index in range(2)
+    )
+    return Workload(name="faulty", seed=5, masters=masters, fault=fault)
+
+
+def _run(spec, level):
+    platform = PlatformBuilder(spec).build(level)
+    recorder = TraceRecorder()
+    platform.attach(recorder)
+    result = platform.run()
+    return recorder.records, result
+
+
+def _functional(records):
+    """Per-master (kind, addr, beats, resp) sequences in issue order.
+
+    Raw record order is completion order — legitimately different
+    across engines — so the cross-engine comparison must be per-master.
+    """
+    from repro.traffic import group_by_master
+
+    grouped = group_by_master(records, sort=True)
+    return {
+        master: [(r.kind, r.addr, r.beats, r.resp) for r in stream]
+        for master, stream in grouped.items()
+    }
+
+
+class TestFaultSpec:
+    def test_plan_is_deterministic(self):
+        spec = FaultSpec(seed=3, error_rate=0.3, retry_rate=0.3)
+        assert spec.plan(0, 7) == spec.plan(0, 7)
+        plans = {spec.plan(m, o) for m in range(4) for o in range(50)}
+        assert () in plans  # most transfers pass
+        assert (int(HResp.ERROR),) in plans
+        assert any(p and p[0] == int(HResp.RETRY) for p in plans)
+
+    def test_retry_runs_bounded_by_max_retries(self):
+        spec = FaultSpec(seed=9, retry_rate=1.0, max_retries=3)
+        for ordinal in range(40):
+            plan = spec.plan(0, ordinal)
+            assert 1 <= len(plan) <= 3
+            assert all(code == int(HResp.RETRY) for code in plan)
+
+    def test_error_rate_one_always_errors(self):
+        spec = FaultSpec(seed=1, error_rate=1.0)
+        assert all(
+            spec.plan(m, o) == (int(HResp.ERROR),)
+            for m in range(3)
+            for o in range(20)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="error_rate"):
+            FaultSpec(error_rate=1.5)
+        with pytest.raises(ConfigError, match="retry_rate"):
+            FaultSpec(retry_rate=-0.1)
+        with pytest.raises(ConfigError, match="exceed"):
+            FaultSpec(error_rate=0.6, retry_rate=0.6)
+        with pytest.raises(ConfigError, match="max_retries"):
+            FaultSpec(max_retries=0)
+        with pytest.raises(ConfigError, match="retry_limit"):
+            FaultSpec(retry_limit=-1)
+        with pytest.raises(ConfigError, match="together"):
+            FaultSpec(window_base=0)
+        with pytest.raises(ConfigError, match="window_size"):
+            FaultSpec(window_base=0, window_size=0)
+
+    def test_window_matching(self):
+        spec = FaultSpec(error_rate=0.5, window_base=0x1000, window_size=0x100)
+        assert spec.matches(0x1000) and spec.matches(0x10FF)
+        assert not spec.matches(0xFFF) and not spec.matches(0x1100)
+        # windowed() only fills an unset window.
+        assert spec.windowed(0, 1 << 20) is spec
+        opened = FaultSpec(error_rate=0.5).windowed(0x2000, 0x80)
+        assert opened.window_base == 0x2000 and opened.window_size == 0x80
+
+    def test_plan_for_respects_windows(self):
+        inside = FaultSpec(
+            seed=2, error_rate=1.0, window_base=0, window_size=0x100
+        )
+        assert plan_for((inside,), 0, 0, 0x80) == (int(HResp.ERROR),)
+        assert plan_for((inside,), 0, 0, 0x200) == ()
+
+    def test_json_round_trip(self):
+        spec = FaultSpec(
+            seed=7,
+            error_rate=0.1,
+            retry_rate=0.2,
+            max_retries=3,
+            retry_limit=2,
+            window_base=0x400,
+            window_size=0x100,
+        )
+        clone = FaultSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        with pytest.raises(ConfigError, match="unknown"):
+            FaultSpec.from_dict({"seed": 1, "explosions": True})
+
+    def test_workload_round_trip_carries_fault(self):
+        workload = _faulty_workload(8)
+        clone = Workload.from_dict(json.loads(json.dumps(workload.to_dict())))
+        assert clone == workload
+        assert clone.fault == workload.fault
+
+
+class TestCrossEngineFaultEquivalence:
+    def test_workload_fault_identical_at_every_level(self):
+        """The acceptance criterion: one faulted workload, four engines,
+        identical (master, kind, addr, resp) sequences and counters."""
+        spec = SystemSpec(name="faulted", workload=_faulty_workload())
+        reference, ref_result = _run(spec, "tlm")
+        assert ref_result.error_responses > 0
+        assert ref_result.retry_responses > 0
+        for level in [lvl for lvl in LEVELS if lvl != "tlm"]:
+            records, result = _run(spec, level)
+            assert result.error_responses == ref_result.error_responses, level
+            assert result.retry_responses == ref_result.retry_responses, level
+            diff = trace_diff(reference, records)
+            assert diff.functionally_identical, (
+                f"tlm vs {level}: {diff.summary()}"
+            )
+            assert _functional(records) == _functional(reference), level
+
+    def test_slave_window_fault_identical_at_every_level(self):
+        """A fault riding on a SlaveSpec defaults its window to the
+        slave's region; only traffic into that region faults, and every
+        engine agrees on which transfers those are."""
+        fault = FaultSpec(seed=21, error_rate=0.4, window_size=None)
+        workload = _faulty_workload(transactions=16, fault=None)
+        workload = Workload(
+            name="slave-fault",
+            seed=workload.seed,
+            masters=(
+                # Master 0 stays inside the faulty window, master 1 out.
+                MasterSpec("m0", _pattern(0), 16),
+                MasterSpec("m1", _pattern(1), 16),
+            ),
+        )
+        slaves = (
+            SlaveSpec(
+                name="ddr",
+                kind="ddr",
+                base=0,
+                size=1 << 20,
+                fault=FaultSpec(
+                    seed=21, error_rate=0.4, window_base=0, window_size=1 << 16
+                ),
+            ),
+        )
+        spec = SystemSpec(name="slave-fault", workload=workload, slaves=slaves)
+        reference, ref_result = _run(spec, "tlm")
+        assert ref_result.error_responses > 0
+        by_master = {0: set(), 1: set()}
+        for record in reference:
+            by_master[record.master].add(record.resp)
+        assert int(HResp.ERROR) in by_master[0]  # window faults fire
+        assert by_master[1] == {0}  # outside the window: OKAY only
+        for level in [lvl for lvl in LEVELS if lvl != "tlm"]:
+            records, result = _run(spec, level)
+            assert result.error_responses == ref_result.error_responses, level
+            assert _functional(records) == _functional(reference), level
+
+    def test_fault_free_spec_reports_zero_counters(self):
+        spec = SystemSpec(name="clean", workload=_faulty_workload(fault=FaultSpec()))
+        _records, result = _run(spec, "tlm")
+        assert result.error_responses == 0
+        assert result.retry_responses == 0
+
+
+class TestFaultTraceRoundTrip:
+    def test_faulted_capture_replays_identically(self, tmp_path):
+        """Capture a faulted run, save/load the trace, replay at the
+        other engines: the archived fault plans reproduce the identical
+        ERROR/RETRY outcome without the workload's FaultSpec."""
+        spec = SystemSpec(name="faulted", workload=_faulty_workload())
+        config = spec.config()
+        reference, _result = _run(spec, "tlm")
+        path = tmp_path / "faulted.jsonl"
+        save_trace(reference, path)
+        loaded = load_trace_file(path)
+        assert any(record.fault_plan for record in loaded)
+        assert any(record.resp == int(HResp.ERROR) for record in loaded)
+        replay = SystemSpec(
+            name="replay",
+            workload=Workload.from_trace(tuple(loaded), name="replay"),
+            bus=BusSpec(config=config),
+        )
+        for level in ("tlm", "plain", "rtl"):
+            records, _ = _run(replay, level)
+            assert _functional(records) == _functional(reference), level
+
+    def test_fault_fields_survive_payload_round_trip(self):
+        spec = SystemSpec(name="faulted", workload=_faulty_workload(8))
+        records, _ = _run(spec, "tlm")
+        for record in records:
+            clone = record_from_payload(
+                json.loads(json.dumps(asdict(record)))
+            )
+            assert clone == record
+
+
+class TestViolationProvenance:
+    def test_flag_carries_engine_seed_master_and_uid(self):
+        from repro.ahb.transaction import Transaction
+        from repro.ahb.types import AccessKind
+
+        checker = TransactionChecker().bind("rtl", seed=99)
+        txn = Transaction(
+            master=2, kind=AccessKind.READ, addr=0x40, beats=4
+        )
+        txn.data = [1, 2]  # wrong shape for an OKAY read
+        txn.issued_at = 0
+        checker(txn, 1, 2, 9)
+        [violation] = [
+            v for v in checker.violations if v.rule == "data-shape"
+        ]
+        assert violation.engine == "rtl"
+        assert violation.seed == 99
+        assert violation.master == 2
+        assert violation.txn_uid == txn.uid
+        rendered = str(violation)
+        assert "rtl" in rendered and "seed 99" in rendered
+        assert f"txn {txn.uid}" in rendered
+
+    def test_unbound_checker_defaults_stay_empty(self):
+        checker = TransactionChecker()
+        assert checker.engine == "" and checker.seed is None

@@ -1,0 +1,44 @@
+"""Committed fuzz repros must keep failing the way they were archived.
+
+Every ``tests/data/repros/*.jsonl`` file is a shrunk minimal failure
+the fuzzer once found.  Each must replay to the *same* failure
+signature forever:
+
+* a different signature means the archived bug morphed — re-triage;
+* no failure at all means the bug was (possibly accidentally) fixed —
+  delete or re-archive the file consciously, don't carry it silently.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz import load_repro, replay_repro
+
+REPRO_DIR = os.path.join(os.path.dirname(__file__), "data", "repros")
+REPRO_FILES = sorted(glob.glob(os.path.join(REPRO_DIR, "*.jsonl")))
+
+
+def test_repros_are_committed():
+    """The PR ships hand-picked shrunken repros; an empty directory
+    means discovery is silently matching nothing."""
+    assert len(REPRO_FILES) >= 2
+
+
+@pytest.mark.parametrize(
+    "path", REPRO_FILES, ids=[os.path.basename(p) for p in REPRO_FILES]
+)
+def test_repro_replays_to_archived_failure(path):
+    repro = load_repro(path)
+    assert repro.records, path
+    observed = replay_repro(repro)
+    assert observed is not None, (
+        f"{os.path.basename(path)} no longer fails — the archived bug is "
+        f"fixed or regressed into silence; re-triage and delete/re-archive"
+    )
+    assert observed.signature == repro.signature, (
+        f"{os.path.basename(path)} now fails differently: archived "
+        f"{repro.signature}, observed {observed.signature} ({observed.detail})"
+    )
+    assert observed.kind == repro.kind
