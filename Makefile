@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo trace-demo fuzz fuzz-long
+.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo trace-demo serve-demo fuzz fuzz-long
 
 # Optional bench filter: `make bench MODELS=rtl` measures/gates only
 # the named models (space-separated subset of tlm_method
@@ -64,3 +64,10 @@ sweep-demo:
 # Also exercised by the examples smoke test inside tier-1.
 trace-demo:
 	$(PYTHON) examples/trace_replay.py
+
+# Simulation-as-a-service: start a sweep daemon with a persistent
+# content-addressed result store, submit a grid twice (second pass is
+# 100% cache hits), run a mixed warm/cold grid, restart on the same
+# store, and shut down cleanly.  Also in tier-1 via the examples smoke.
+serve-demo:
+	$(PYTHON) examples/serve_demo.py

@@ -12,8 +12,11 @@ Usage (see also ``make bench`` / ``make bench-baseline``)::
         preserved so cumulative speedups keep their reference).
 
 Beyond the per-model Kcycles/s gate, the suite measures traffic
-generation (items/s per mode) and end-to-end sweep execution (the A5
-filter grid, serial vs process over a reused pool).  On hosts with
+generation (items/s per mode), end-to-end sweep execution (the A5
+filter grid, serial vs process over a reused pool) and the serving
+layer (warm submissions/s, cache hit-rate and queue depth through an
+in-process ``repro.serve`` server under a concurrent duplicate-heavy
+burst).  On hosts with
 more than one worker the process backend must beat serial by
 ``--min-sweep-speedup`` (default 1.5x); on single-CPU hosts the
 speedup is recorded but not gated — a pool of one worker can only add
@@ -124,9 +127,10 @@ def main(argv=None) -> int:
         repeats_rtl=args.repeats_rtl,
         models=args.models,
         # A filtered run is for fast iteration on one model: skip the
-        # unrelated trafficgen/sweep suites too.
+        # unrelated trafficgen/sweep/serve suites too.
         include_trafficgen=args.models is None,
         include_sweep=args.models is None,
+        include_serve=args.models is None,
     )
     print(render_block(fresh, title="this run"))
 
@@ -145,9 +149,14 @@ def main(argv=None) -> int:
             seed = previous.get("seed")
             # Archive the *outgoing* current block as a history
             # milestone before this run replaces it — the fresh numbers
-            # live in `current`, never duplicated into history.
+            # live in `current`, never duplicated into history.  A
+            # re-record at the same revision just replaces `current`;
+            # archiving it would render a self-milestone next to an
+            # identical current row.
             outgoing = previous.get("current")
             history = previous.get("history")
+            if outgoing and outgoing.get("git_rev") == fresh.get("git_rev"):
+                outgoing = None
             if outgoing:
                 history = append_history(
                     history,  # type: ignore[arg-type]

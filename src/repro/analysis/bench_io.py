@@ -57,6 +57,12 @@ TRAFFICGEN_SEED = 11
 #: Sweep-execution suite sizing (the A5 filter-ablation grid).
 SWEEP_TRANSACTIONS = 120
 
+#: Serving suite sizing: grid size per submission and the burst shape
+#: (concurrent clients x duplicate submissions each).
+SERVE_TRANSACTIONS = 60
+SERVE_CLIENTS = 4
+SERVE_SUBMISSIONS_PER_CLIENT = 3
+
 #: Models measured by the suite (report keys).
 MODELS = ("tlm_method", "tlm_single_master", "rtl")
 
@@ -191,11 +197,98 @@ def run_sweep_suite(
     }
 
 
+def run_serve_suite(
+    transactions: int = SERVE_TRANSACTIONS,
+    clients: int = SERVE_CLIENTS,
+    submissions_per_client: int = SERVE_SUBMISSIONS_PER_CLIENT,
+) -> Dict[str, object]:
+    """Serving-layer throughput: a burst of duplicate-heavy submissions.
+
+    Hermetic and in-process: starts a :class:`~repro.serve.SweepServer`
+    (serial backend, in-memory store) on a loopback port, primes the
+    cache with one cold pass over a small write-buffer grid, then fires
+    *clients* concurrent threads each submitting the identical grid
+    *submissions_per_client* times.  Every burst point must replay from
+    the cache — the suite raises if the warm hit-rate is not 100 % or
+    any burst record differs from the cold pass (the "cache hit is
+    provably correct" guarantee, measured rather than assumed).
+
+    Reported: cold/burst wall seconds, warm submissions/s and points/s,
+    the overall cache hit-rate, and the queue-depth high-water mark.
+    """
+    import threading
+
+    from repro.serve import ServeClient, SweepServer
+    from repro.system import paper_topology, sweep as sweep_grid
+
+    spec = paper_topology(transactions)
+    grid = sweep_grid(spec, axis="write_buffer_depth", values=(1, 2, 4, 8))
+    clients = max(clients, 1)
+    submissions_per_client = max(submissions_per_client, 1)
+
+    with SweepServer() as server:
+        host, port = server.address
+
+        start = time.perf_counter()
+        cold = ServeClient(host, port).submit(grid)
+        cold_wall = time.perf_counter() - start
+        if cold.misses != len(grid):
+            raise SimulationError(
+                f"cold pass expected {len(grid)} misses, got {cold.misses}"
+            )
+
+        failures: List[str] = []
+
+        def burst_worker() -> None:
+            client = ServeClient(host, port)
+            for _ in range(submissions_per_client):
+                result = client.submit(grid)
+                if result.hits != len(grid):
+                    failures.append(
+                        f"warm submission hit {result.hits}/{len(grid)}"
+                    )
+                if result.records != cold.records:
+                    failures.append("burst records diverged from cold pass")
+
+        threads = [
+            threading.Thread(target=burst_worker) for _ in range(clients)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        burst_wall = time.perf_counter() - start
+        if failures:
+            raise SimulationError(
+                f"serve burst failed: {failures[0]} "
+                f"({len(failures)} failures total)"
+            )
+        stats = server.stats()
+
+    burst_submissions = clients * submissions_per_client
+    return {
+        "points": len(grid),
+        "transactions": transactions,
+        "clients": clients,
+        "submissions_per_client": submissions_per_client,
+        "cold_wall_seconds": round(cold_wall, 6),
+        "burst_wall_seconds": round(burst_wall, 6),
+        "submissions_per_sec": round(burst_submissions / burst_wall, 1),
+        "points_per_sec": round(
+            burst_submissions * len(grid) / burst_wall, 1
+        ),
+        "cache_hit_rate": stats["hit_rate"],
+        "max_queue_depth": stats["max_queue_depth"],
+    }
+
+
 def run_speed_suite(
     repeats_tlm: int = 5,
     repeats_rtl: int = 3,
     include_trafficgen: bool = True,
     include_sweep: bool = True,
+    include_serve: bool = True,
     models: Optional[Sequence[str]] = None,
 ) -> Dict[str, object]:
     """Run the §4 speed suite; returns one measurement block.
@@ -245,6 +338,8 @@ def run_speed_suite(
         block["trafficgen"] = run_trafficgen_suite()
     if include_sweep:
         block["sweep"] = run_sweep_suite()
+    if include_serve:
+        block["serve"] = run_serve_suite()
     return block
 
 
@@ -313,10 +408,16 @@ def append_history(
     block: Dict[str, object],
     label: str,
 ) -> List[Dict[str, object]]:
-    """History with *block* appended; same-revision tail entries collapse."""
+    """History with *block* appended; same-revision tail entries collapse.
+
+    A collapse keeps the established milestone label (e.g. "PR 3") —
+    re-measuring the same revision refreshes the numbers, it does not
+    rename the milestone.
+    """
     history = list(report_history or [])
     entry = history_entry(block, label)
     if history and history[-1].get("git_rev") == entry["git_rev"]:
+        entry["label"] = history[-1].get("label", entry["label"])
         history[-1] = entry
     else:
         history.append(entry)
@@ -501,5 +602,13 @@ def render_block(block: Dict[str, object], title: str = "speed") -> str:
             f"serial {sweep['serial_wall_seconds']:.3f}s, "  # type: ignore[index]
             f"process {sweep['process_wall_seconds']:.3f}s "  # type: ignore[index]
             f"({sweep['process_over_serial']}x)"  # type: ignore[index]
+        )
+    serve = block.get("serve")
+    if serve:
+        lines.append(
+            f"  serve ({serve['points']} pts, {serve['clients']} clients): "  # type: ignore[index]
+            f"{serve['submissions_per_sec']:,.0f} submissions/s warm, "  # type: ignore[index]
+            f"hit rate {serve['cache_hit_rate']:.1%}, "  # type: ignore[index]
+            f"max queue {serve['max_queue_depth']}"  # type: ignore[index]
         )
     return "\n".join(lines)

@@ -20,11 +20,12 @@ process backend); and record equality excludes wall time, so
 ``SweepRunner("process").run(g) == SweepRunner("serial").run(g)``.
 """
 
-from repro.exec.records import RunRecord
+from repro.exec.records import RunRecord, point_key
 from repro.exec.runner import (
     BACKENDS,
     ON_ERROR,
     Collector,
+    OnResult,
     SweepRunner,
     default_workers,
     run_grid,
@@ -35,9 +36,11 @@ __all__ = [
     "BACKENDS",
     "Collector",
     "ON_ERROR",
+    "OnResult",
     "RunRecord",
     "SweepRunner",
     "default_workers",
+    "point_key",
     "run_grid",
     "shared_pool",
 ]

@@ -12,9 +12,14 @@ serial-vs-process determinism tests assert.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 
+from repro.canonical import stable_hash
 from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec → exec)
+    from repro.system.spec import SystemSpec
+    from repro.traffic.workloads import Workload
 
 #: Extra per-point metrics: sorted ``(name, value)`` pairs so the record
 #: stays hashable and order-independent.
@@ -48,6 +53,54 @@ def _freeze_metrics(metrics: Optional[Mapping[str, object]]) -> MetricItems:
 
 
 _MISSING = object()
+
+#: Schema tags mixed into the content hashes (bumping one invalidates
+#: every key of that kind at once — the cache invalidation story).
+POINT_KEY_SCHEMA = "ahbplus-point-v1"
+RECORD_KEY_SCHEMA = "ahbplus-record-v1"
+
+
+def point_key(
+    spec: "SystemSpec",
+    workload: Optional["Workload"] = None,
+    seed: Optional[int] = None,
+    engine: str = "tlm",
+    max_cycles: Optional[int] = None,
+) -> str:
+    """Canonical content address of one simulation request.
+
+    The key covers everything that determines a run's counters — the
+    full :class:`~repro.system.spec.SystemSpec` (which embeds the
+    workload and its seed), the engine level and the cycle ceiling —
+    and nothing else: sweep bookkeeping (labels, axis names) does not
+    participate, so two grids that request the same simulation under
+    different labels share one key.  Simulations are deterministic, so
+    a key hit in a result store is provably the same record a fresh
+    run would produce.
+
+    *workload* and *seed* rebind the spec before hashing (the sweep
+    axes that replace the workload rather than the config), so callers
+    can key a variant without constructing the replacement spec first.
+    Stability is pinned by tests: the same key falls out across dict
+    key ordering, ``to_dict`` → JSON → ``from_dict`` round-trips and
+    serial- vs process-backend execution.
+    """
+    from repro.system.spec import LEVELS
+
+    if engine not in LEVELS:
+        raise ConfigError(f"unknown engine {engine!r}; choose from {LEVELS}")
+    if max_cycles is not None and int(max_cycles) <= 0:
+        raise ConfigError(f"max_cycles must be positive, got {max_cycles}")
+    if workload is not None:
+        spec = spec.with_workload(workload)
+    if seed is not None:
+        spec = spec.with_seed(int(seed))
+    payload = {
+        "spec": spec.to_dict(),
+        "engine": engine,
+        "max_cycles": None if max_cycles is None else int(max_cycles),
+    }
+    return stable_hash(payload, POINT_KEY_SCHEMA)
 
 
 @dataclass(frozen=True)
@@ -96,6 +149,21 @@ class RunRecord:
         if self.cycles == 0:
             return 0.0
         return self.busy_cycles / self.cycles
+
+    def content_key(self) -> str:
+        """Canonical content address of this record's *result*.
+
+        Hashes every compared field — identity, counters, metrics and
+        the error marker — but not ``wall_seconds`` (excluded from
+        equality for the same reason: two runs of the same point are
+        the same result however long they took).  Equal records always
+        share a key, across dict ordering, JSON round-trips and
+        execution backends, which is what lets the serving layer assert
+        a cache replay is bit-identical to a fresh run.
+        """
+        payload = self.to_dict()
+        del payload["wall_seconds"]
+        return stable_hash(payload, RECORD_KEY_SCHEMA)
 
     def metric(self, name: str, default: object = _MISSING) -> object:
         """Look up one collector metric by name."""

@@ -49,6 +49,9 @@ ON_ERROR = ("raise", "record")
 #: Collector signature: ``(point, platform, result) -> metrics dict``.
 Collector = Callable[[SweepPoint, object, object], Dict[str, object]]
 
+#: Per-point completion callback: ``(grid_index, record) -> None``.
+OnResult = Callable[[int, RunRecord], None]
+
 
 def default_workers(grid_size: Optional[int] = None) -> int:
     """Worker count for the process backend: CPUs, capped by the grid."""
@@ -227,6 +230,7 @@ class SweepRunner:
         grid: Iterable[SweepPoint],
         collect: Optional[Collector] = None,
         max_cycles: Optional[object] = None,
+        on_result: Optional[OnResult] = None,
     ) -> List[RunRecord]:
         """Run every point of *grid*; records come back in grid order.
 
@@ -235,7 +239,21 @@ class SweepRunner:
         only the slow RTL points of a mixed-engine grid).  Callables
         are resolved here, before jobs ship to pool workers, so they
         need not be picklable.
+
+        ``on_result(index, record)`` fires once per completed point —
+        error rows included under ``on_error="record"`` — *in grid
+        order*, before ``run`` returns, on every backend (the process
+        backend switches from ``Pool.map`` to the order-preserving
+        ``imap`` so earlier points surface while later ones still
+        run).  It executes in the calling process, so unlike a
+        collector it need not be picklable; the sweep server uses it
+        to stream per-point progress without polling.  An exception it
+        raises propagates and abandons the rest of the sweep.
         """
+        if on_result is not None and not callable(on_result):
+            raise ConfigError(
+                f"on_result must be callable, got {type(on_result).__name__}"
+            )
         points = list(grid)
         if not points:
             return []
@@ -252,27 +270,53 @@ class SweepRunner:
             for point in points
         ]
         if self.backend == "serial":
-            return [_execute(job) for job in jobs]
-        return self._run_pool(jobs)
+            records: List[RunRecord] = []
+            for job in jobs:
+                record = _execute(job)
+                if on_result is not None:
+                    on_result(len(records), record)
+                records.append(record)
+            return records
+        return self._run_pool(jobs, on_result)
 
-    def _run_pool(self, jobs: Sequence[_PointJob]) -> List[RunRecord]:
+    def _run_pool(
+        self, jobs: Sequence[_PointJob], on_result: Optional[OnResult] = None
+    ) -> List[RunRecord]:
         workers = (
             self.workers
             if self.workers is not None
             else default_workers(len(jobs))
         )
         if self.timeout is not None:
-            return self._run_pool_deadline(jobs, workers)
+            return self._run_pool_deadline(jobs, workers, on_result)
         chunksize = self._chunksize(len(jobs), workers)
-        # Pool.map preserves input order, so the merge is deterministic
-        # no matter which worker finished first.
+        # Pool.map/imap preserve input order, so the merge is
+        # deterministic no matter which worker finished first.
         if self.pool is not None:
-            return self.pool.map(_execute, jobs, chunksize=chunksize)
+            return self._pool_map(self.pool, jobs, chunksize, on_result)
         with multiprocessing.Pool(processes=workers) as pool:
+            return self._pool_map(pool, jobs, chunksize, on_result)
+
+    @staticmethod
+    def _pool_map(
+        pool: "multiprocessing.pool.Pool",
+        jobs: Sequence[_PointJob],
+        chunksize: int,
+        on_result: Optional[OnResult],
+    ) -> List[RunRecord]:
+        if on_result is None:
             return pool.map(_execute, jobs, chunksize=chunksize)
+        records: List[RunRecord] = []
+        for record in pool.imap(_execute, jobs, chunksize=chunksize):
+            on_result(len(records), record)
+            records.append(record)
+        return records
 
     def _run_pool_deadline(
-        self, jobs: Sequence[_PointJob], workers: int
+        self,
+        jobs: Sequence[_PointJob],
+        workers: int,
+        on_result: Optional[OnResult] = None,
     ) -> List[RunRecord]:
         """Per-point ``apply_async`` dispatch with a delivery deadline.
 
@@ -281,6 +325,8 @@ class SweepRunner:
         starting to wait on it is treated per the ``on_error`` policy;
         points already finished while the runner waited on an earlier
         one collect instantly, so only genuinely stuck points pay.
+        ``on_result`` fires per collected row — timeout rows included —
+        as the grid-order walk reaches it.
         """
         pool = self.pool
         owned = pool is None
@@ -291,20 +337,21 @@ class SweepRunner:
             records: List[RunRecord] = []
             for job, handle in zip(jobs, pending):
                 try:
-                    records.append(handle.get(timeout=self.timeout))
+                    record = handle.get(timeout=self.timeout)
                 except multiprocessing.TimeoutError:
                     if self.on_error != "record":
                         raise SimulationError(
                             f"sweep point {job.point.label!r} exceeded the "
                             f"{self.timeout}s timeout"
                         ) from None
-                    records.append(
-                        RunRecord.from_error(
-                            job.point,
-                            f"timeout: no result within {self.timeout}s",
-                            wall_seconds=float(self.timeout),
-                        )
+                    record = RunRecord.from_error(
+                        job.point,
+                        f"timeout: no result within {self.timeout}s",
+                        wall_seconds=float(self.timeout),
                     )
+                if on_result is not None:
+                    on_result(len(records), record)
+                records.append(record)
             return records
         finally:
             if owned:

@@ -1,0 +1,55 @@
+"""Simulation-as-a-service: a persistent sweep server with a
+content-addressed result cache.
+
+Everything needed for serving already existed — ``SystemSpec`` and
+``Workload`` are JSON-round-trippable and picklable, ``RunRecord``
+equality excludes wall time, and simulations are deterministic — so a
+cache hit is free *and provably correct*.  This package is the layer
+that exploits it:
+
+* :class:`ResultStore` — a content-addressed record store keyed on
+  :func:`repro.exec.records.point_key` (the canonical hash of spec +
+  workload + seed + engine + cycle ceiling), JSON-lines on disk with an
+  in-memory index.  Failure rows are never cached.
+* :class:`SweepServer` — a thread-pool front end over ``SweepRunner``
+  behind a line-delimited-JSON socket protocol: dedupes submissions
+  against the store and in-flight work, batches cold points of
+  concurrent clients onto one shared grid, and streams per-point
+  results back in grid order via the runner's ``on_result`` hook.
+* :class:`ServeClient` — the Python API (``submit``/``status``/
+  ``ping``/``shutdown``); ``python -m repro.serve`` is the CLI over
+  the same protocol (``serve`` / ``submit`` / ``status``).
+
+One host program, same workload, any backend — submit the grid and let
+the service pick cached vs fresh execution::
+
+    with SweepServer(store=ResultStore("results.jsonl")) as server:
+        client = ServeClient(*server.address)
+        first = client.submit(grid)    # cold: simulated
+        second = client.submit(grid)   # warm: 100% cache hits
+        assert second.records == first.records
+"""
+
+from repro.serve.client import OnEvent, ServeClient, SubmitResult
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL,
+    grid_to_wire,
+    point_from_wire,
+    point_to_wire,
+)
+from repro.serve.server import SweepServer
+from repro.serve.store import ResultStore
+
+__all__ = [
+    "OPS",
+    "OnEvent",
+    "PROTOCOL",
+    "ResultStore",
+    "ServeClient",
+    "SubmitResult",
+    "SweepServer",
+    "grid_to_wire",
+    "point_from_wire",
+    "point_to_wire",
+]

@@ -1,0 +1,179 @@
+"""CLI for the sweep server: ``python -m repro.serve <command>``.
+
+Commands::
+
+    serve     start a daemon: bind, load/create the result store, serve
+              until a client sends ``shutdown`` (or Ctrl-C)
+    submit    build a sweep grid from a named scenario and submit it;
+              prints one row per record with its cache verdict
+    status    print the server's serving stats and store summary
+    shutdown  ask the server to stop
+
+Example session (two shells)::
+
+    $ python -m repro.serve serve --port 7414 --store results.jsonl
+    $ python -m repro.serve submit --port 7414 --scenario paper \\
+          --transactions 60 --axis write_buffer_depth --values 1,2,4,8
+    $ python -m repro.serve submit --port 7414 --scenario paper \\
+          --transactions 60 --axis write_buffer_depth --values 1,2,4,8
+    # second pass: 100% cache hits
+    $ python -m repro.serve shutdown --port 7414
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import repro.core  # noqa: F401  (anchor package import order)
+from repro.errors import ReproError
+from repro.serve.client import ServeClient
+from repro.serve.server import SweepServer
+from repro.serve.store import ResultStore
+from repro.system import scenario, scenario_names, sweep
+
+#: Default TCP port (no IANA meaning; just stable across the docs).
+DEFAULT_PORT = 7414
+
+
+def _parse_values(text: str) -> List[object]:
+    """Comma-separated sweep values: JSON scalars, else plain strings."""
+    values: List[object] = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        try:
+            values.append(json.loads(chunk))
+        except ValueError:
+            values.append(chunk)
+    return values
+
+
+def _add_endpoint(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    server = SweepServer(
+        store=store,
+        backend=args.backend,
+        workers=args.workers,
+        timeout=args.timeout,
+        host=args.host,
+        port=args.port,
+    )
+    host, port = server.start()
+    loaded = len(store)
+    print(
+        f"repro.serve: listening on {host}:{port} "
+        f"(backend={args.backend}, store="
+        f"{args.store or 'in-memory'}, {loaded} cached records)"
+    )
+    sys.stdout.flush()
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        server.stop()
+    print("repro.serve: stopped")
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    spec = scenario(args.scenario, transactions=args.transactions)
+    values = _parse_values(args.values)
+    grid = sweep(spec, axis=args.axis, values=values, engine=args.engine)
+    client = ServeClient(args.host, args.port)
+    result = client.submit(grid, max_cycles=args.max_cycles)
+    print(
+        f"{'label':<24} {'source':<9} {'cycles':>8} {'txns':>6} {'util':>6}"
+    )
+    for record, source in zip(result.records, result.sources):
+        print(
+            f"{record.label:<24} {source:<9} {record.cycles:>8} "
+            f"{record.transactions:>6} {record.utilization:>6.3f}"
+        )
+    print(
+        f"\n{len(result.records)} records: {result.hits} cached, "
+        f"{result.misses} simulated (hit rate {result.hit_rate:.0%})"
+    )
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    client = ServeClient(args.host, args.port)
+    print(json.dumps(client.status(), indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_shutdown(args: argparse.Namespace) -> int:
+    client = ServeClient(args.host, args.port)
+    client.shutdown()
+    print("server acknowledged shutdown")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve", description=__doc__
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="run the sweep daemon")
+    _add_endpoint(serve)
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="JSON-lines result store path (default: in-memory only)",
+    )
+    serve.add_argument(
+        "--backend", choices=("serial", "process"), default="serial"
+    )
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point delivery deadline in seconds (process backend)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    submit = commands.add_parser("submit", help="submit a sweep grid")
+    _add_endpoint(submit)
+    submit.add_argument(
+        "--scenario",
+        default="paper",
+        choices=scenario_names(),
+        help="named scenario to build the spec from",
+    )
+    submit.add_argument("--transactions", type=int, default=60)
+    submit.add_argument("--axis", default="write_buffer_depth")
+    submit.add_argument(
+        "--values",
+        default="1,2,4,8",
+        help="comma-separated sweep values (JSON scalars)",
+    )
+    submit.add_argument("--engine", default="tlm")
+    submit.add_argument("--max-cycles", type=int, default=None)
+    submit.set_defaults(func=cmd_submit)
+
+    status = commands.add_parser("status", help="print serving stats")
+    _add_endpoint(status)
+    status.set_defaults(func=cmd_status)
+
+    shutdown = commands.add_parser("shutdown", help="stop the daemon")
+    _add_endpoint(shutdown)
+    shutdown.set_defaults(func=cmd_shutdown)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,193 @@
+"""Python client for the sweep server: submit once, stream results back.
+
+:class:`ServeClient` speaks the :mod:`repro.serve.protocol` over a
+fresh TCP connection per operation (connections are cheap on localhost
+and stateless retries stay trivial).  :meth:`ServeClient.submit` is the
+drop-in serving analogue of :meth:`SweepRunner.run`: it takes the same
+``sweep()`` grid, returns records in grid order, and additionally
+reports which points replayed from the server's cache — submitting the
+same grid twice yields a second pass that is 100 % cache hits with
+records equal to the first pass.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigError, SimulationError
+from repro.exec.records import RunRecord
+from repro.serve.protocol import (
+    PROTOCOL,
+    grid_to_wire,
+    read_message,
+    write_message,
+)
+from repro.system.spec import SweepPoint
+
+#: Optional event observer: called with every raw protocol event.
+OnEvent = Callable[[Dict[str, object]], None]
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """One submission's outcome: records plus cache accounting."""
+
+    #: Records in grid order (cache replays carry this grid's labels).
+    records: Tuple[RunRecord, ...]
+    #: Per-point cache verdicts, grid order: ``"store"``, ``"inflight"``
+    #: or ``"run"``.
+    sources: Tuple[str, ...]
+    hits: int
+    misses: int
+    job: int = 0
+    #: Point keys in grid order (the store's content addresses).
+    keys: Tuple[str, ...] = field(default=())
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def cached(self) -> Tuple[bool, ...]:
+        return tuple(source != "run" for source in self.sources)
+
+
+class ServeClient:
+    """Talks to one :class:`~repro.serve.server.SweepServer`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout: float = 300.0
+    ) -> None:
+        if port <= 0:
+            raise ConfigError(f"need the server's port, got {port}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _connect(self) -> Tuple[object, object, socket.socket]:
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+        reader = sock.makefile("r", encoding="utf-8")
+        writer = sock.makefile("w", encoding="utf-8")
+        return reader, writer, sock
+
+    def _request_one(self, op: str, expect: str) -> Dict[str, object]:
+        """Send a single-shot op; return its one response event."""
+        reader, writer, sock = self._connect()
+        try:
+            write_message(writer, {"op": op})
+            event = read_message(reader)
+            if event is None:
+                raise SimulationError(f"server closed during {op!r}")
+            if event.get("event") == "error":
+                raise SimulationError(f"server error: {event.get('message')}")
+            if event.get("event") != expect:
+                raise SimulationError(
+                    f"expected {expect!r} event, got {event.get('event')!r}"
+                )
+            return event
+        finally:
+            sock.close()
+
+    # -- operations ------------------------------------------------------------
+
+    def ping(self) -> str:
+        """Round-trip check; returns the server's protocol identifier."""
+        event = self._request_one("ping", "pong")
+        return str(event.get("protocol", PROTOCOL))
+
+    def status(self) -> Dict[str, object]:
+        """The server's serving stats and store summary."""
+        event = self._request_one("status", "status")
+        return {"stats": event.get("stats"), "store": event.get("store")}
+
+    def shutdown(self) -> bool:
+        """Ask the server to stop; True when it acknowledged."""
+        event = self._request_one("shutdown", "bye")
+        return event.get("event") == "bye"
+
+    def submit(
+        self,
+        grid: Iterable[SweepPoint],
+        max_cycles: Optional[int] = None,
+        on_event: Optional[OnEvent] = None,
+    ) -> SubmitResult:
+        """Submit *grid*; block until every point's record streamed back.
+
+        Results arrive (and *on_event* fires) per point, in grid order,
+        as the server completes them — cache hits immediately, cold
+        points as the shared sweep finishes each one.
+        """
+        points = list(grid)
+        if not points:
+            return SubmitResult(records=(), sources=(), hits=0, misses=0)
+        reader, writer, sock = self._connect()
+        try:
+            write_message(
+                writer,
+                {
+                    "op": "submit",
+                    "points": grid_to_wire(points),
+                    "max_cycles": max_cycles,
+                },
+            )
+            job = 0
+            records: List[RunRecord] = []
+            sources: List[str] = []
+            keys: List[str] = []
+            hits = misses = 0
+            while True:
+                event = read_message(reader)
+                if event is None:
+                    raise SimulationError(
+                        "server closed mid-submission "
+                        f"({len(records)}/{len(points)} records received)"
+                    )
+                if on_event is not None:
+                    on_event(event)
+                kind = event.get("event")
+                if kind == "error":
+                    raise SimulationError(
+                        f"server error: {event.get('message')}"
+                    )
+                if kind == "accepted":
+                    job = int(event.get("job", 0))
+                elif kind == "result":
+                    index = int(event.get("index", -1))
+                    if index != len(records):
+                        raise SimulationError(
+                            f"result for index {index} arrived out of order "
+                            f"(expected {len(records)})"
+                        )
+                    records.append(
+                        RunRecord.from_dict(event["record"])  # type: ignore[arg-type]
+                    )
+                    sources.append(str(event.get("source", "run")))
+                    keys.append(str(event.get("key", "")))
+                elif kind == "done":
+                    hits = int(event.get("hits", 0))
+                    misses = int(event.get("misses", 0))
+                    break
+                else:
+                    raise SimulationError(f"unexpected event {kind!r}")
+            if len(records) != len(points):
+                raise SimulationError(
+                    f"submission returned {len(records)} records for "
+                    f"{len(points)} points"
+                )
+            return SubmitResult(
+                records=tuple(records),
+                sources=tuple(sources),
+                hits=hits,
+                misses=misses,
+                job=job,
+                keys=tuple(keys),
+            )
+        finally:
+            sock.close()

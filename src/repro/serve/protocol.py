@@ -1,0 +1,141 @@
+"""The ``repro.serve`` wire protocol: line-delimited JSON over a socket.
+
+One request object per line from the client, a stream of event objects
+per line back from the server.  Everything is plain JSON — the same
+``to_dict``/``from_dict`` shapes the rest of the repo persists — so any
+language (or ``nc`` plus an eyeball) can speak it.
+
+Requests::
+
+    {"op": "submit", "points": [WIRE_POINT, ...], "max_cycles": N|null}
+    {"op": "status"}
+    {"op": "ping"}
+    {"op": "shutdown"}
+
+where ``WIRE_POINT`` is ``{"label", "axis", "value", "spec", "engine"}``
+(``spec`` a :meth:`SystemSpec.to_dict` mapping, ``value`` the swept
+value's ``repr`` — identity bookkeeping only; the cache key is content:
+spec + engine + max_cycles).
+
+Responses (one per line; a ``submit`` streams them as points finish,
+in grid order)::
+
+    {"event": "accepted", "job": N, "points": K, "protocol": ...}
+    {"event": "result", "job": N, "index": I, "key": ...,
+     "cached": true|false, "source": "store"|"inflight"|"run",
+     "record": RECORD_DICT}
+    {"event": "done", "job": N, "hits": H, "misses": M}
+    {"event": "status", "stats": {...}, "store": {...}}
+    {"event": "pong", "protocol": ...}
+    {"event": "bye"}
+    {"event": "error", "message": ...}
+
+``source`` distinguishes the two hit kinds: ``"store"`` replayed a
+persisted record, ``"inflight"`` attached to a point some other client
+was already running (both count as cache hits — no simulation ran for
+this submission).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, IO, Iterable, List, Optional
+
+from repro.errors import ConfigError
+from repro.system.spec import LEVELS, SweepPoint, SystemSpec
+
+#: Protocol identifier sent in ``accepted``/``pong`` events.
+PROTOCOL = "ahbplus-serve-v1"
+
+#: Requests a server understands.
+OPS = ("submit", "status", "ping", "shutdown")
+
+
+class _WireValue:
+    """A swept value reconstructed from its ``repr`` text.
+
+    The wire carries ``repr(point.value)`` (arbitrary objects do not
+    survive JSON); rebuilding the point around a ``_WireValue`` whose
+    ``repr`` *is* that text makes :meth:`RunRecord.from_run` emit the
+    exact identity string the submitting client used.  Picklable, so
+    wire points ride the process backend unchanged.
+    """
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def __repr__(self) -> str:
+        return self.text
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _WireValue) and other.text == self.text
+
+    def __hash__(self) -> int:
+        return hash(self.text)
+
+
+def point_to_wire(point: SweepPoint) -> Dict[str, object]:
+    """Serialise one grid point for a ``submit`` request."""
+    return {
+        "label": point.label,
+        "axis": point.axis,
+        "value": repr(point.value),
+        "spec": point.spec.to_dict(),
+        "engine": point.engine,
+    }
+
+
+def point_from_wire(data: Dict[str, object]) -> SweepPoint:
+    """Rebuild a grid point from its wire form (re-validating the spec)."""
+    missing = {"label", "axis", "value", "spec", "engine"} - set(data)
+    if missing:
+        raise ConfigError(f"wire point needs fields {sorted(missing)}")
+    engine = str(data["engine"])
+    if engine not in LEVELS:
+        raise ConfigError(f"unknown engine {engine!r}; choose from {LEVELS}")
+    return SweepPoint(
+        label=str(data["label"]),
+        axis=str(data["axis"]),
+        value=_WireValue(str(data["value"])),
+        spec=SystemSpec.from_dict(data["spec"]),  # type: ignore[arg-type]
+        engine=engine,
+    )
+
+
+def grid_to_wire(grid: Iterable[SweepPoint]) -> List[Dict[str, object]]:
+    return [point_to_wire(point) for point in grid]
+
+
+# -- line framing ---------------------------------------------------------------
+
+
+def write_message(stream: IO[str], message: Dict[str, object]) -> None:
+    """Send one protocol object (a single line; flushed immediately)."""
+    stream.write(json.dumps(message) + "\n")
+    stream.flush()
+
+
+def read_message(stream: IO[str]) -> Optional[Dict[str, object]]:
+    """Read one protocol object; ``None`` on a closed stream.
+
+    Malformed lines raise :class:`ConfigError` — both sides treat that
+    as a protocol violation (the server answers with an ``error`` event
+    and drops the connection).
+    """
+    line = stream.readline()
+    if not line:
+        return None
+    line = line.strip()
+    if not line:
+        return {}
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ConfigError(f"malformed protocol line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ConfigError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    return message

@@ -1,0 +1,442 @@
+"""The persistent sweep server: submissions in, cached-or-fresh rows out.
+
+:class:`SweepServer` is a long-running front end over
+:class:`~repro.exec.runner.SweepRunner`:
+
+* **accepts** spec+workload submissions over the line-delimited-JSON
+  socket protocol (:mod:`repro.serve.protocol`), any number of
+  concurrent clients;
+* **dedupes** every submitted point against the content-addressed
+  :class:`~repro.serve.store.ResultStore` (a completed identical run
+  replays from disk) *and* against in-flight work (a point some other
+  client is already running is joined, not re-run);
+* **batches** the remaining cold points of concurrently queued
+  submissions onto one shared :class:`SweepRunner` grid — a process
+  backend amortises its pool across every client; and
+* **streams** per-point results back to each subscriber in grid order
+  as they complete, driven by the runner's ``on_result`` hook rather
+  than polling.
+
+Execution always runs under ``on_error="record"``: a crashing or
+timed-out point yields a failure row to its subscribers but never
+kills the daemon — and the store refuses to cache such rows, so a
+retry re-runs the point instead of replaying the failure.
+"""
+
+from __future__ import annotations
+
+import io
+import queue
+import socketserver
+import threading
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.exec.records import RunRecord, point_key
+from repro.exec.runner import SweepRunner
+from repro.serve.protocol import (
+    OPS,
+    PROTOCOL,
+    point_from_wire,
+    read_message,
+    write_message,
+)
+from repro.serve.store import ResultStore
+from repro.system.spec import SweepPoint
+
+
+class _Pending:
+    """One cold point queued or running: resolves to exactly one record."""
+
+    __slots__ = ("point", "max_cycles", "event", "record")
+
+    def __init__(self, point: SweepPoint, max_cycles: Optional[int]) -> None:
+        self.point = point
+        self.max_cycles = max_cycles
+        self.event = threading.Event()
+        self.record: Optional[RunRecord] = None
+
+    def wait(self) -> RunRecord:
+        self.event.wait()
+        assert self.record is not None
+        return self.record
+
+
+#: One submission point's routing decision: the point, its content key,
+#: where the record comes from, and the ready record or pending slot.
+_Outcome = Tuple[SweepPoint, str, str, Union[RunRecord, _Pending]]
+
+
+class _ServeTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    owner: "SweepServer"
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of requests, each answered in full."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        owner = self.server.owner  # type: ignore[attr-defined]
+        reader = io.TextIOWrapper(self.rfile, encoding="utf-8")
+        writer = io.TextIOWrapper(self.wfile, encoding="utf-8")
+        while True:
+            try:
+                message = read_message(reader)
+            except ConfigError as exc:
+                self._safe_emit(writer, {"event": "error", "message": str(exc)})
+                return
+            if message is None:
+                return
+            if not message:
+                continue
+            try:
+                if not self._dispatch(owner, message, writer):
+                    return
+            except (BrokenPipeError, ConnectionError):
+                return
+            except ConfigError as exc:
+                if not self._safe_emit(
+                    writer, {"event": "error", "message": str(exc)}
+                ):
+                    return
+
+    def _dispatch(self, owner, message, writer) -> bool:
+        op = message.get("op")
+        if op not in OPS:
+            raise ConfigError(f"unknown op {op!r}; choose from {OPS}")
+        if op == "ping":
+            write_message(writer, {"event": "pong", "protocol": PROTOCOL})
+            return True
+        if op == "status":
+            write_message(
+                writer,
+                {
+                    "event": "status",
+                    "stats": owner.stats(),
+                    "store": owner.store.stats(),
+                },
+            )
+            return True
+        if op == "shutdown":
+            write_message(writer, {"event": "bye"})
+            # stop() joins the acceptor loop; never call it from a
+            # handler thread synchronously while it waits on us.
+            threading.Thread(target=owner.stop, daemon=True).start()
+            return False
+        self._handle_submit(owner, message, writer)
+        return True
+
+    def _handle_submit(self, owner, message, writer) -> None:
+        raw_points = message.get("points")
+        if not isinstance(raw_points, list) or not raw_points:
+            raise ConfigError("submit needs a non-empty 'points' list")
+        max_cycles = message.get("max_cycles")
+        if max_cycles is not None:
+            max_cycles = int(max_cycles)
+            if max_cycles <= 0:
+                raise ConfigError(
+                    f"max_cycles must be positive, got {max_cycles}"
+                )
+        points = [point_from_wire(entry) for entry in raw_points]
+        job = owner._next_job()
+        outcomes = owner.route(points, max_cycles)
+        write_message(
+            writer,
+            {
+                "event": "accepted",
+                "job": job,
+                "points": len(points),
+                "protocol": PROTOCOL,
+            },
+        )
+        hits = misses = 0
+        for index, (point, key, source, slot) in enumerate(outcomes):
+            if isinstance(slot, _Pending):
+                record = slot.wait()
+            else:
+                record = slot
+            if source == "run":
+                misses += 1
+            else:
+                hits += 1
+            # A record replayed for a different submitter keeps its
+            # content but takes the requester's grid identity.
+            record = replace(
+                record,
+                label=point.label,
+                axis=point.axis,
+                value=repr(point.value),
+            )
+            write_message(
+                writer,
+                {
+                    "event": "result",
+                    "job": job,
+                    "index": index,
+                    "key": key,
+                    "cached": source != "run",
+                    "source": source,
+                    "record": record.to_dict(),
+                },
+            )
+        write_message(
+            writer,
+            {"event": "done", "job": job, "hits": hits, "misses": misses},
+        )
+
+    @staticmethod
+    def _safe_emit(writer, message) -> bool:
+        try:
+            write_message(writer, message)
+            return True
+        except (BrokenPipeError, ConnectionError, ValueError):
+            return False
+
+
+class SweepServer:
+    """A persistent simulation service over one shared result store.
+
+    *backend*/*workers*/*timeout*/*repeats* configure the underlying
+    :class:`SweepRunner` (``on_error`` is always ``"record"`` — a bad
+    point must produce a failure row, not kill the daemon).  *store*
+    defaults to a fresh in-memory :class:`ResultStore`; hand in a
+    path-backed one to persist results across restarts.
+
+    Usable as a context manager::
+
+        with SweepServer(store=ResultStore("results.jsonl")) as server:
+            host, port = server.address
+            ...  # clients connect
+    """
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        backend: str = "serial",
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        repeats: int = 1,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.runner = SweepRunner(
+            backend=backend,
+            workers=workers,
+            timeout=timeout,
+            repeats=repeats,
+            on_error="record",
+        )
+        self._host = host
+        self._port = port
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, _Pending] = {}
+        self._work: "queue.Queue[Optional[List[Tuple[str, _Pending]]]]" = (
+            queue.Queue()
+        )
+        self._tcp: Optional[_ServeTCPServer] = None
+        self._threads: List[threading.Thread] = []
+        self._stopped = threading.Event()
+        self._job_counter = 0
+        self._stats = {
+            "submissions": 0,
+            "points": 0,
+            "hits_store": 0,
+            "hits_inflight": 0,
+            "misses": 0,
+            "failure_rows": 0,
+            "max_queue_depth": 0,
+        }
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> Tuple[str, int]:
+        """Bind, spawn the acceptor and executor threads, return address."""
+        if self._tcp is not None:
+            raise ConfigError("server already started")
+        self._tcp = _ServeTCPServer((self._host, self._port), _Handler)
+        self._tcp.owner = self
+        acceptor = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="serve-acceptor",
+            daemon=True,
+        )
+        executor = threading.Thread(
+            target=self._executor_loop, name="serve-executor", daemon=True
+        )
+        self._threads = [acceptor, executor]
+        for thread in self._threads:
+            thread.start()
+        return self.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (port resolved when ``port=0``)."""
+        if self._tcp is None:
+            raise ConfigError("server not started")
+        host, port = self._tcp.server_address[:2]
+        return str(host), int(port)
+
+    def stop(self) -> None:
+        """Stop accepting, drain the executor, fail leftover pendings."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._tcp is not None:
+            self._tcp.shutdown()
+            self._tcp.server_close()
+        self._work.put(None)
+        for thread in self._threads:
+            if thread is not threading.current_thread():
+                thread.join(timeout=10.0)
+        with self._lock:
+            leftovers = list(self._inflight.items())
+            self._inflight.clear()
+        for _key, pending in leftovers:
+            pending.record = RunRecord.from_error(
+                pending.point, "server stopped before the point ran"
+            )
+            pending.event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the server stops (a client sent ``shutdown``)."""
+        return self._stopped.wait(timeout)
+
+    def __enter__(self) -> "SweepServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- submission routing ----------------------------------------------------
+
+    def _next_job(self) -> int:
+        with self._lock:
+            self._job_counter += 1
+            return self._job_counter
+
+    def route(
+        self, points: Sequence[SweepPoint], max_cycles: Optional[int] = None
+    ) -> List[_Outcome]:
+        """Dedupe *points* against the store and in-flight work.
+
+        Returns one outcome per point, in grid order: a ready record
+        (store hit), an existing pending (in-flight hit — joined, not
+        re-run) or a freshly queued pending.  The cold remainder is
+        enqueued as one batch for the executor.
+        """
+        if self._stopped.is_set():
+            raise ConfigError("server is stopped")
+        outcomes: List[_Outcome] = []
+        to_run: List[Tuple[str, _Pending]] = []
+        with self._lock:
+            self._stats["submissions"] += 1
+            self._stats["points"] += len(points)
+            for point in points:
+                key = point_key(
+                    point.spec, engine=point.engine, max_cycles=max_cycles
+                )
+                cached = self.store.get(key)
+                if cached is not None:
+                    self._stats["hits_store"] += 1
+                    outcomes.append((point, key, "store", cached))
+                    continue
+                pending = self._inflight.get(key)
+                if pending is not None:
+                    self._stats["hits_inflight"] += 1
+                    outcomes.append((point, key, "inflight", pending))
+                    continue
+                pending = _Pending(point, max_cycles)
+                self._inflight[key] = pending
+                to_run.append((key, pending))
+                self._stats["misses"] += 1
+                outcomes.append((point, key, "run", pending))
+            self._stats["max_queue_depth"] = max(
+                self._stats["max_queue_depth"], len(self._inflight)
+            )
+        if to_run:
+            self._work.put(to_run)
+        return outcomes
+
+    # -- execution -------------------------------------------------------------
+
+    def _executor_loop(self) -> None:
+        while True:
+            batch = self._work.get()
+            if batch is None:
+                return
+            stop_after = False
+            # Batch every already-queued submission onto one grid: the
+            # runner's pool (process backend) then shards all clients'
+            # cold points together.
+            while True:
+                try:
+                    extra = self._work.get_nowait()
+                except queue.Empty:
+                    break
+                if extra is None:
+                    stop_after = True
+                    break
+                batch.extend(extra)
+            self._run_batch(batch)
+            if stop_after:
+                return
+
+    def _run_batch(self, batch: List[Tuple[str, _Pending]]) -> None:
+        points = [pending.point for _key, pending in batch]
+        ceilings = {
+            id(pending.point): pending.max_cycles for _key, pending in batch
+        }
+
+        def finish(index: int, record: RunRecord) -> None:
+            key, pending = batch[index]
+            self._finish(key, pending, record)
+
+        try:
+            self.runner.run(
+                points,
+                max_cycles=lambda point: ceilings[id(point)],
+                on_result=finish,
+            )
+        except Exception as exc:  # infrastructure failure, not a point crash
+            for key, pending in batch:
+                if not pending.event.is_set():
+                    self._finish(
+                        key,
+                        pending,
+                        RunRecord.from_error(
+                            pending.point, f"{type(exc).__name__}: {exc}"
+                        ),
+                    )
+
+    def _finish(self, key: str, pending: _Pending, record: RunRecord) -> None:
+        self.store.put(key, record)  # refuses failure rows itself
+        with self._lock:
+            self._inflight.pop(key, None)
+            if record.failed:
+                self._stats["failure_rows"] += 1
+        pending.record = record
+        pending.event.set()
+
+    # -- introspection ---------------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Points currently queued or running."""
+        with self._lock:
+            return len(self._inflight)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-ready serving counters (the ``status`` op's payload)."""
+        with self._lock:
+            stats = dict(self._stats)
+            stats["queue_depth"] = len(self._inflight)
+        hits = stats["hits_store"] + stats["hits_inflight"]
+        stats["hits"] = hits
+        total = hits + stats["misses"]
+        stats["hit_rate"] = round(hits / total, 4) if total else 0.0
+        stats["backend"] = self.runner.backend
+        return stats

@@ -1,0 +1,135 @@
+"""Content-addressed result store: point key → persisted ``RunRecord``.
+
+The store is the serving layer's memory: every completed simulation is
+filed under its :func:`~repro.exec.records.point_key` — the canonical
+hash of *what was simulated* — so any later submission of the same
+spec/workload/seed/engine/ceiling replays the stored record instead of
+re-running.  Simulations are deterministic, so a hit is free **and
+provably correct**: the replayed record equals what a fresh run would
+produce (record equality excludes wall time; the test suite pins this).
+
+Persistence is JSON-lines on disk (one ``{"key": ..., "record": ...}``
+object per line, appended on every insert) with a plain in-memory
+index, so a restarted server re-opens its cache by replaying the file.
+Corrupt trailing lines (a crash mid-append) are tolerated and dropped.
+
+**Failure rows are never authoritative.**  A record whose
+:attr:`~repro.exec.records.RunRecord.failed` flag is set — a crash or
+timeout row from ``SweepRunner(on_error="record")`` — describes what
+happened to one attempt, not what the simulation computes; caching it
+would turn a transient failure into a permanent one.  :meth:`put`
+refuses such rows (counted in :attr:`rejected_failures`), so a retry
+after a crash re-runs the point.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+from repro.exec.records import RunRecord
+
+
+class ResultStore:
+    """Thread-safe content-addressed ``RunRecord`` cache.
+
+    *path* is the JSON-lines backing file; ``None`` keeps the store
+    purely in-memory (hermetic tests, throwaway servers).  An existing
+    file is loaded eagerly — the in-memory index always mirrors disk.
+    """
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self._path = None if path is None else Path(path)
+        self._lock = threading.Lock()
+        self._index: Dict[str, RunRecord] = {}
+        self.rejected_failures = 0
+        #: Lines skipped while loading (corrupt/truncated appends).
+        self.skipped_lines = 0
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    # -- persistence -----------------------------------------------------------
+
+    def _load(self) -> None:
+        assert self._path is not None
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    key = entry["key"]
+                    record = RunRecord.from_dict(entry["record"])
+                except (ValueError, KeyError, TypeError, ConfigError):
+                    # A crash mid-append leaves at most one bad line;
+                    # dropping it loses one cached point, nothing more.
+                    self.skipped_lines += 1
+                    continue
+                if record.failed:  # defence against hand-edited stores
+                    self.rejected_failures += 1
+                    continue
+                self._index[str(key)] = record
+
+    def _append(self, key: str, record: RunRecord) -> None:
+        assert self._path is not None
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "record": record.to_dict()}
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+
+    # -- the cache interface ---------------------------------------------------
+
+    def get(self, key: str) -> Optional[RunRecord]:
+        """The record filed under *key*, or ``None``."""
+        with self._lock:
+            return self._index.get(key)
+
+    def put(self, key: str, record: RunRecord) -> bool:
+        """File *record* under *key*; returns whether it was stored.
+
+        Refused (``False``) for failure rows — crash/timeout records
+        must not shadow a future successful run — and for keys already
+        present (first write wins; determinism makes any duplicate
+        equal anyway, so nothing is lost).
+        """
+        if record.failed:
+            with self._lock:
+                self.rejected_failures += 1
+            return False
+        with self._lock:
+            if key in self._index:
+                return False
+            self._index[key] = record
+            if self._path is not None:
+                self._append(key, record)
+            return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def items(self) -> Iterator[Tuple[str, RunRecord]]:
+        """Snapshot of the ``(key, record)`` pairs (stable to iterate)."""
+        with self._lock:
+            return iter(list(self._index.items()))
+
+    @property
+    def path(self) -> Optional[Path]:
+        return self._path
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-ready summary block (served by ``status``)."""
+        with self._lock:
+            return {
+                "entries": len(self._index),
+                "path": None if self._path is None else str(self._path),
+                "rejected_failures": self.rejected_failures,
+                "skipped_lines": self.skipped_lines,
+            }

@@ -231,6 +231,19 @@ class SystemSpec:
         """A copy with the workload's transaction counts scaled."""
         return replace(self, workload=self.workload.scaled(factor))
 
+    def content_key(self) -> str:
+        """Canonical content address of this system description.
+
+        Hashed over the sorted-key JSON form, so the key survives dict
+        reordering, ``to_dict`` → JSON → ``from_dict`` round-trips and
+        process boundaries — the property the serving layer's result
+        cache builds on (see :func:`repro.exec.records.point_key`,
+        which combines this description with engine and cycle ceiling).
+        """
+        from repro.canonical import stable_hash
+
+        return stable_hash(self.to_dict(), "ahbplus-system-v1")
+
     # -- serialisation --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:

@@ -231,6 +231,19 @@ class Workload:
         """Same mix under a different seed."""
         return replace(self, seed=seed)
 
+    def content_key(self) -> str:
+        """Canonical content address of this scenario description.
+
+        Stable across dict ordering, JSON round-trips and processes
+        (sorted-key canonical JSON, not ``hash()``); two workloads with
+        equal descriptions — including the seed — share a key.  The
+        serving layer folds this into its simulation-request keys via
+        :func:`repro.exec.records.point_key`.
+        """
+        from repro.canonical import stable_hash
+
+        return stable_hash(self.to_dict(), "ahbplus-workload-v1")
+
     def to_dict(self) -> dict:
         """JSON-ready mapping of the full scenario description."""
         payload = {

@@ -3,6 +3,8 @@
 import json
 from pathlib import Path
 
+import pytest
+
 from repro.analysis.bench_io import (
     MODELS,
     compare_reports,
@@ -147,6 +149,25 @@ class TestSweepSuite:
         assert block["process_over_serial"] > 0
 
 
+class TestServeSuite:
+    def test_shape_and_hit_rate_gate(self):
+        from repro.analysis.bench_io import run_serve_suite
+
+        block = run_serve_suite(
+            transactions=20, clients=2, submissions_per_client=2
+        )
+        assert block["clients"] == 2
+        assert block["submissions_per_client"] == 2
+        assert block["points"] >= 1
+        assert block["cold_wall_seconds"] > 0
+        assert block["burst_wall_seconds"] > 0
+        assert block["submissions_per_sec"] > 0
+        assert block["points_per_sec"] > 0
+        # One cold pass, then an all-warm burst: 4 of 5 submissions hit.
+        assert block["cache_hit_rate"] == pytest.approx(4 / 5)
+        assert block["max_queue_depth"] >= 1
+
+
 class TestModelFilter:
     def test_suite_measures_only_selected_models(self):
         block = run_speed_suite(
@@ -211,13 +232,16 @@ class TestDeltaTableAndTrajectory:
         mid = _block(tlm=150.0, rev="mid1111")
         current = _block(tlm=200.0, rev="cur2222")
         history = append_history(None, mid, label="PR X")
-        # Same-revision tail entries collapse instead of duplicating.
-        history = append_history(history, mid, label="PR X again")
-        assert len(history) == 1 and history[0]["label"] == "PR X again"
+        # Same-revision tail entries collapse instead of duplicating,
+        # and the established milestone label survives the re-measure.
+        remeasured = _block(tlm=160.0, rev="mid1111")
+        history = append_history(history, remeasured, label="rev mid1111")
+        assert len(history) == 1 and history[0]["label"] == "PR X"
+        assert history[0]["models"]["tlm_method"] == 160.0
         report = make_report(current, seed=seed, history=history)
         table = render_trajectory(report)
         labels = [line.split()[0] for line in table.splitlines()[2:]]
-        assert labels == ["seed", "PR", "current"]  # "PR X again" splits
+        assert labels == ["seed", "PR", "current"]  # "PR X" splits
         assert "2.00x" in table.splitlines()[-1]
 
     def test_committed_baseline_has_history(self):
@@ -240,7 +264,8 @@ class TestCycleDeterminismGate:
 
 
 class TestCommittedNewEntries:
-    """The committed baseline carries the PR's trafficgen/sweep evidence."""
+    """The committed baseline carries the PR's trafficgen/sweep/serve
+    evidence."""
 
     def test_baseline_has_trafficgen_and_sweep(self):
         report = json.loads(BENCH_PATH.read_text())
@@ -248,6 +273,14 @@ class TestCommittedNewEntries:
         assert current["trafficgen"]["modes"]["stream"]["items_per_sec"] > 0
         assert current["sweep"]["points"] >= 8
         assert current["sweep"]["process_over_serial"] > 0
+
+    def test_baseline_has_serve_block(self):
+        report = json.loads(BENCH_PATH.read_text())
+        serve = report["current"]["serve"]
+        assert serve["submissions_per_sec"] > 0
+        assert serve["points_per_sec"] > 0
+        assert 0 < serve["cache_hit_rate"] < 1
+        assert serve["max_queue_depth"] >= 1
 
 
 class TestJsonRoundTripWithNestedMetrics:
@@ -281,6 +314,20 @@ class TestCliGating:
             "--repeats-rtl",
             "1",
         ]
+
+    def test_same_rev_rerecord_does_not_self_milestone(self, tmp_path):
+        """--write-baseline twice at one revision replaces `current`
+        without archiving it as a history milestone of itself."""
+        from benchmarks.bench_regression import main
+
+        path = tmp_path / "bench.json"
+        args = self._fresh_args(path) + ["--write-baseline"]
+        assert main(args) == 0
+        first = load_report(path)
+        assert main(args) == 0
+        second = load_report(path)
+        assert second.get("history") == first.get("history")
+        assert second["current"]["git_rev"] == first["current"]["git_rev"]
 
     def test_cross_host_cycle_drift_fails_cli(self, tmp_path, capsys):
         from benchmarks.bench_regression import main

@@ -96,6 +96,42 @@ class TestBackendEquivalence:
         assert [r.label for r in records] == [p.label for p in grid]
 
 
+class TestOnResultStreaming:
+    """Satellite requirement: ``on_result`` fires per point, in grid
+    order, on every backend — the hook the serving layer streams
+    progress through."""
+
+    def test_serial_backend_streams_in_grid_order(self):
+        grid = filter_ablation_grid(30)
+        seen = []
+        records = SweepRunner(backend="serial").run(
+            grid, on_result=lambda i, r: seen.append((i, r))
+        )
+        assert [i for i, _ in seen] == list(range(len(grid)))
+        assert [r for _, r in seen] == records
+
+    def test_process_backend_streams_in_grid_order(self):
+        grid = filter_ablation_grid(30)
+        seen = []
+        records = SweepRunner(
+            backend="process", workers=2, chunksize=3
+        ).run(grid, on_result=lambda i, r: seen.append((i, r)))
+        assert [i for i, _ in seen] == list(range(len(grid)))
+        assert [r for _, r in seen] == records
+
+    def test_callback_does_not_change_the_records(self):
+        grid = filter_ablation_grid(30)
+        plain = SweepRunner(backend="process", workers=2).run(grid)
+        streamed = SweepRunner(backend="process", workers=2).run(
+            grid, on_result=lambda i, r: None
+        )
+        assert streamed == plain
+
+    def test_callback_must_be_callable(self):
+        with pytest.raises(ConfigError, match="on_result"):
+            SweepRunner().run(_qos_grid(10), on_result="notify")
+
+
 class TestRunnerKnobs:
     def test_empty_grid(self):
         assert SweepRunner().run([]) == []

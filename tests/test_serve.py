@@ -1,0 +1,411 @@
+"""The serving layer: store, protocol, server, client, CLI.
+
+Pins the tentpole acceptance criteria: a grid submitted twice through
+the server returns bit-identical records with a 100 % cache hit-rate on
+the second pass; a mixed warm/cold submission runs only the cold
+points; in-flight duplicates join the running point instead of
+re-running; and crash/timeout rows are never cached as authoritative
+results (a retry re-runs the point).
+"""
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+import repro.core  # noqa: F401  (anchor package import order)
+from repro.errors import ConfigError, SimulationError
+from repro.exec import RunRecord, SweepRunner, point_key
+from repro.serve import (
+    PROTOCOL,
+    ResultStore,
+    ServeClient,
+    SweepServer,
+    point_from_wire,
+    point_to_wire,
+)
+from repro.system import paper_topology, sweep
+from repro.traffic import single_master_workload
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _grid(transactions=15, values=(1, 2, 4)):
+    spec = paper_topology(workload=single_master_workload(transactions))
+    return sweep(spec, axis="write_buffer_depth", values=values)
+
+
+def _one_record(transactions=10):
+    [record] = SweepRunner().run(_grid(transactions, values=(4,)))
+    return record
+
+
+@pytest.fixture()
+def served():
+    """A running in-process server plus a connected client."""
+    with SweepServer() as server:
+        yield server, ServeClient(*server.address)
+
+
+class TestResultStore:
+    def test_put_get_and_first_write_wins(self):
+        store = ResultStore()
+        record = _one_record()
+        assert store.put("k1", record)
+        assert store.get("k1") == record
+        assert not store.put("k1", record)  # duplicate filing refused
+        assert len(store) == 1 and "k1" in store
+
+    def test_persists_and_reloads(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        record = _one_record()
+        store = ResultStore(path)
+        store.put("k1", record)
+        reopened = ResultStore(path)
+        assert reopened.get("k1") == record
+        assert reopened.get("k1").content_key() == record.content_key()
+        assert reopened.stats()["entries"] == 1
+
+    def test_corrupt_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put("k1", _one_record())
+        with path.open("a") as handle:
+            handle.write('{"key": "k2", "rec')  # crash mid-append
+        reopened = ResultStore(path)
+        assert len(reopened) == 1
+        assert reopened.skipped_lines == 1
+
+    def test_failure_rows_are_never_cached(self):
+        """Satellite: crash/timeout records must not become authoritative."""
+        [point] = _grid(values=(4,))
+        store = ResultStore()
+        crash = RunRecord.from_error(point, "SimulationError: boom")
+        timeout = RunRecord.from_error(point, "timeout: no result within 2s")
+        assert not store.put("crash", crash)
+        assert not store.put("timeout", timeout)
+        assert store.get("crash") is None and store.get("timeout") is None
+        assert len(store) == 0
+        assert store.rejected_failures == 2
+
+    def test_failure_rows_in_file_dropped_on_load(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        [point] = _grid(values=(4,))
+        bad = RunRecord.from_error(point, "timeout: hand-edited store")
+        path.write_text(
+            json.dumps({"key": "bad", "record": bad.to_dict()}) + "\n"
+        )
+        store = ResultStore(path)
+        assert store.get("bad") is None
+        assert store.rejected_failures == 1
+
+
+class TestWireProtocol:
+    def test_point_round_trip_preserves_identity_and_key(self):
+        [point] = _grid(values=(4,))
+        rebuilt = point_from_wire(point_to_wire(point))
+        assert rebuilt.label == point.label
+        assert rebuilt.axis == point.axis
+        assert repr(rebuilt.value) == repr(point.value)
+        assert rebuilt.engine == point.engine
+        assert point_key(rebuilt.spec, engine=rebuilt.engine) == point_key(
+            point.spec, engine=point.engine
+        )
+
+    def test_wire_point_validation(self):
+        [point] = _grid(values=(4,))
+        wire = point_to_wire(point)
+        with pytest.raises(ConfigError, match="fields"):
+            point_from_wire({k: v for k, v in wire.items() if k != "spec"})
+        with pytest.raises(ConfigError, match="engine"):
+            point_from_wire({**wire, "engine": "warp"})
+
+    def test_wire_point_is_picklable(self):
+        import pickle
+
+        [point] = _grid(values=(4,))
+        rebuilt = point_from_wire(point_to_wire(point))
+        clone = pickle.loads(pickle.dumps(rebuilt))
+        assert repr(clone.value) == repr(point.value)
+
+
+class TestServingAcceptance:
+    """The tentpole's asserted behaviours, end-to-end over the socket."""
+
+    def test_second_pass_is_all_cache_hits_and_bit_identical(self, served):
+        _server, client = served
+        grid = _grid()
+        first = client.submit(grid)
+        assert first.sources == ("run",) * len(grid)
+        assert first.misses == len(grid) and first.hits == 0
+        second = client.submit(grid)
+        assert second.sources == ("store",) * len(grid)
+        assert second.hit_rate == 1.0
+        assert second.records == first.records
+        assert [r.content_key() for r in second.records] == [
+            r.content_key() for r in first.records
+        ]
+
+    def test_mixed_submission_runs_only_cold_points(self, served):
+        server, client = served
+        client.submit(_grid(values=(1, 2)))
+        mixed = client.submit(_grid(values=(1, 2, 4, 8)))
+        assert mixed.sources == ("store", "store", "run", "run")
+        assert mixed.hits == 2 and mixed.misses == 2
+        stats = server.stats()
+        assert stats["misses"] == 4  # 2 cold + 2 new, never re-run
+
+    def test_records_carry_the_requesters_labels(self, served):
+        """A cache replay takes the submitting grid's identity."""
+        _server, client = served
+        spec = paper_topology(workload=single_master_workload(15))
+        first = client.submit(
+            sweep(spec, axis="write_buffer_depth", values=(4,))
+        )
+        relabeled = client.submit(
+            sweep(
+                spec,
+                axis="write_buffer_depth",
+                values=(4,),
+                labels=("depth-four",),
+            )
+        )
+        assert relabeled.sources == ("store",)
+        [a], [b] = first.records, relabeled.records
+        assert b.label == "depth-four" and a.label == "write_buffer_depth=4"
+        assert b.cycles == a.cycles and b.transactions == a.transactions
+
+    def test_max_cycles_participates_in_the_key(self, served):
+        _server, client = served
+        grid = _grid(values=(4,))
+        bounded = client.submit(grid, max_cycles=200_000)
+        unbounded = client.submit(grid)
+        assert bounded.sources == ("run",)
+        assert unbounded.sources == ("run",)  # different content key
+        assert client.submit(grid, max_cycles=200_000).sources == ("store",)
+
+    def test_concurrent_duplicate_submissions(self, served):
+        """A burst of identical grids from many clients: one simulation."""
+        server, _client = served
+        grid = _grid()
+        results = []
+        errors = []
+
+        def worker():
+            try:
+                results.append(ServeClient(*server.address).submit(grid))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(results) == 6
+        reference = results[0].records
+        for result in results[1:]:
+            assert result.records == reference
+        stats = server.stats()
+        # Every point simulated exactly once; the other 5 submissions
+        # were store or in-flight hits.
+        assert stats["misses"] == len(grid)
+        assert stats["hits"] == 5 * len(grid)
+
+    def test_status_ping_and_queue_metrics(self, served):
+        server, client = served
+        assert client.ping() == PROTOCOL
+        client.submit(_grid())
+        status = client.status()
+        assert status["stats"]["submissions"] == 1
+        assert status["stats"]["max_queue_depth"] >= 1
+        assert status["stats"]["queue_depth"] == 0  # drained
+        assert status["store"]["entries"] == 3
+        assert server.queue_depth() == 0
+
+    def test_unknown_op_and_empty_submit_answer_with_errors(self, served):
+        server, _client = served
+        import socket
+
+        with socket.create_connection(server.address, timeout=10) as sock:
+            reader = sock.makefile("r", encoding="utf-8")
+            writer = sock.makefile("w", encoding="utf-8")
+            writer.write(json.dumps({"op": "teleport"}) + "\n")
+            writer.flush()
+            event = json.loads(reader.readline())
+            assert event["event"] == "error" and "teleport" in event["message"]
+            # The connection survives a bad op; an empty submit errors too.
+            writer.write(json.dumps({"op": "submit", "points": []}) + "\n")
+            writer.flush()
+            event = json.loads(reader.readline())
+            assert event["event"] == "error"
+
+    def test_shutdown_via_client(self):
+        with SweepServer() as server:
+            client = ServeClient(*server.address)
+            assert client.shutdown()
+            assert server.wait(timeout=10.0)
+            with pytest.raises((SimulationError, OSError)):
+                client.ping()
+
+
+class TestFailureRowsNotAuthoritative:
+    """Satellite: a retry after a transient crash re-runs the point."""
+
+    def _crashing_grid(self):
+        spec = paper_topology(workload=single_master_workload(12))
+        return sweep(spec, axis="engine", values=("rtl",))
+
+    def test_crash_row_returned_but_not_cached(self, served):
+        server, client = served
+        grid = self._crashing_grid()
+        # 3 cycles cannot drain anything: the RTL point raises.
+        result = client.submit(grid, max_cycles=3)
+        [record] = result.records
+        assert record.failed and "SimulationError" in record.error
+        assert result.sources == ("run",)
+        assert len(server.store) == 0
+        # The retry re-runs (a miss again), it does not replay the crash.
+        retry = client.submit(grid, max_cycles=3)
+        assert retry.sources == ("run",)
+        assert retry.records[0].failed
+        assert server.stats()["failure_rows"] == 2
+        # A successful run under a workable ceiling does get cached.
+        good = client.submit(grid, max_cycles=1_000_000)
+        assert not good.records[0].failed
+        assert client.submit(grid, max_cycles=1_000_000).sources == ("store",)
+
+
+class TestRoutingUnit:
+    """Deterministic in-flight dedupe, without socket timing races."""
+
+    def test_inflight_duplicates_join_the_running_point(self):
+        server = SweepServer()  # not started: executor stays parked
+        grid = _grid(values=(4,))
+        [(point1, key1, source1, pending1)] = server.route(grid)
+        [(_point2, key2, source2, pending2)] = server.route(grid)
+        assert source1 == "run" and source2 == "inflight"
+        assert key1 == key2 and pending1 is pending2
+        assert server.queue_depth() == 1
+        # Drain the queue by hand (the executor thread is not running).
+        batch = server._work.get_nowait()
+        server._run_batch(batch)
+        assert pending1.wait().transactions > 0
+        assert server.queue_depth() == 0
+        # Resolved work is now a store hit for everyone.
+        [(_point3, _key3, source3, record)] = server.route(grid)
+        assert source3 == "store"
+        assert record == pending1.record
+
+    def test_route_after_stop_is_refused(self):
+        server = SweepServer()
+        server.start()
+        server.stop()
+        with pytest.raises(ConfigError, match="stopped"):
+            server.route(_grid(values=(4,)))
+
+    def test_stop_fails_leftover_pendings(self):
+        server = SweepServer()  # executor parked: pendings never resolve
+        [(point, _key, _source, pending)] = server.route(_grid(values=(4,)))
+        server._stopped.set()
+        server._work.put(None)
+        with server._lock:
+            leftovers = list(server._inflight.items())
+            server._inflight.clear()
+        for _k, p in leftovers:
+            p.record = RunRecord.from_error(p.point, "server stopped")
+            p.event.set()
+        assert pending.wait().failed
+
+
+class TestPersistenceAcrossRestart:
+    def test_new_server_on_same_store_starts_warm(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        grid = _grid()
+        with SweepServer(store=ResultStore(path)) as server:
+            first = ServeClient(*server.address).submit(grid)
+        with SweepServer(store=ResultStore(path)) as server:
+            second = ServeClient(*server.address).submit(grid)
+        assert second.sources == ("store",) * len(grid)
+        assert second.records == first.records
+
+
+class TestCli:
+    """`python -m repro.serve` end-to-end: serve, submit, status, shutdown."""
+
+    def _run(self, *argv, timeout=120):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.serve", *argv],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            cwd=str(REPO),
+            env={
+                "PYTHONPATH": str(REPO / "src"),
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+        )
+
+    def test_full_cli_session(self, tmp_path):
+        store = tmp_path / "results.jsonl"
+        daemon = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve",
+                "serve",
+                "--port",
+                "0",
+                "--store",
+                str(store),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=str(REPO),
+            env={
+                "PYTHONPATH": str(REPO / "src"),
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+        )
+        try:
+            banner = daemon.stdout.readline()
+            assert "listening on" in banner, banner
+            port = banner.split("listening on ")[1].split()[0].split(":")[1]
+            submit_args = (
+                "submit",
+                "--port",
+                port,
+                "--transactions",
+                "15",
+                "--values",
+                "1,4",
+            )
+            cold = self._run(*submit_args)
+            assert cold.returncode == 0, cold.stderr
+            assert "2 simulated" in cold.stdout
+            warm = self._run(*submit_args)
+            assert warm.returncode == 0, warm.stderr
+            assert "hit rate 100%" in warm.stdout
+            status = self._run("status", "--port", port)
+            assert status.returncode == 0, status.stderr
+            payload = json.loads(status.stdout)
+            assert payload["stats"]["hits"] == 2
+            assert payload["store"]["entries"] == 2
+            bye = self._run("shutdown", "--port", port)
+            assert bye.returncode == 0, bye.stderr
+            daemon.wait(timeout=30)
+            assert daemon.returncode == 0
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait()
+
+    def test_submit_against_dead_server_fails_cleanly(self):
+        result = self._run("status", "--port", "1", timeout=60)
+        assert result.returncode == 1
+        assert "error:" in result.stderr

@@ -114,6 +114,27 @@ class TestTimeouts:
             assert not by_engine[engine].failed
             assert by_engine[engine].transactions > 0
 
+    def test_on_result_streams_timeout_rows_in_grid_order(self):
+        """The deadline pool path fires ``on_result`` for every slot —
+        wedged points surface as timeout rows, in grid order, so a
+        streaming consumer (the sweep server) never stalls on them."""
+        grid = _engine_grid(8)
+        seen = []
+        records = SweepRunner(
+            backend="process",
+            workers=2,
+            on_error="record",
+            timeout=2.0,
+        ).run(
+            grid,
+            collect=_stall_plain,
+            on_result=lambda i, r: seen.append((i, r)),
+        )
+        assert [i for i, _ in seen] == list(range(len(grid)))
+        assert [r for _, r in seen] == records
+        streamed_stuck = next(r for _, r in seen if r.engine == "plain")
+        assert streamed_stuck.failed and "timeout" in streamed_stuck.error
+
     def test_timeout_raise_policy(self):
         spec = paper_topology(workload=saturating_workload(8))
         grid = sweep(spec, axis="engine", values=("plain",))
