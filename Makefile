@@ -41,7 +41,8 @@ bench-tables:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q
 
 # Fixed-seed protocol fuzz (small budget, deterministic): cross-checks
-# tlm/plain/rtl on adversarial scenarios, exits non-zero on any finding.
+# tlm/plain plus both RTL kernels (event-driven and the full-sweep
+# reference) on adversarial scenarios, exits non-zero on any finding.
 # The same budget runs inside tier-1 via tests/test_fuzz.py.
 fuzz:
 	$(PYTHON) -m repro.fuzz --start 0 --count 25

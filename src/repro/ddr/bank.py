@@ -182,6 +182,31 @@ class BankFsm:
                 elif self.state in (BankState.PRECHARGING, BankState.REFRESHING):
                     self.state = BankState.IDLE
 
+    def skip(self, cycles: int) -> None:
+        """Apply *cycles* deferred :meth:`tick` calls in one step.
+
+        Timers saturate at zero, so the result equals *cycles*
+        individual ticks — provided no state transition inside the
+        skipped span was observable.  Callers owe that proof: the RTL
+        DDRC only defers ticks while the bank is IDLE or steadily ACTIVE
+        (``_timer`` drained), where only the invisible tRAS/tWR
+        down-counters move.  A transitional state still resolves
+        correctly here (the transition just lands at settle time rather
+        than mid-span), which keeps the method safe under a conservative
+        caller.
+        """
+        if self._ras_timer > 0:
+            self._ras_timer = max(0, self._ras_timer - cycles)
+        if self._wr_timer > 0:
+            self._wr_timer = max(0, self._wr_timer - cycles)
+        if self._timer > 0:
+            self._timer = max(0, self._timer - cycles)
+            if self._timer == 0:
+                if self.state is BankState.ACTIVATING:
+                    self.state = BankState.ACTIVE
+                elif self.state in (BankState.PRECHARGING, BankState.REFRESHING):
+                    self.state = BankState.IDLE
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"BankFsm({self.index}, {self.state.value}, row={self.open_row}, "

@@ -193,3 +193,18 @@ class CommandScheduler:
             self._rrd_timer -= 1
         for bank in self.banks:
             bank.tick()
+
+    def skip(self, cycles: int) -> None:
+        """Apply *cycles* deferred :meth:`tick` calls in one step.
+
+        The settled timer values are identical to ticking cycle by
+        cycle (every counter saturates at zero).  The RTL DDRC uses this
+        to settle the tick debt it accrues over lean streaming cycles —
+        spans where :meth:`decide` is provably a NOP and no bank has a
+        transitional state in flight, so nothing could have observed the
+        intermediate counter values.
+        """
+        if self._rrd_timer > 0:
+            self._rrd_timer = max(0, self._rrd_timer - cycles)
+        for bank in self.banks:
+            bank.skip(cycles)

@@ -1,0 +1,717 @@
+"""Structure-of-arrays lockstep sweep backend (``backend="batch"``).
+
+The serial backend runs a sweep one point at a time: each point builds
+its platform and the method-based TLM advances it round by round in
+pure Python.  For the sweep shapes that dominate the experiment layer —
+*many same-topology points that differ only in seed or one config
+knob* — that spends almost all of its time re-interpreting the same
+handful of bytecode paths N times over.
+
+This backend runs N **single-master** TLM simulations in lockstep
+inside one process.  Per simulation round (one arbitration round = one
+served transaction on a single-master bus) it advances *every* live
+simulation with a fixed number of numpy array operations, so the
+Python-interpreter cost is paid once per round instead of once per
+round *per point*.  State lives in structure-of-arrays form: one array
+per scalar of the reference engine's state, indexed by simulation.
+
+Exactness, not approximation
+----------------------------
+The emulation replays :class:`~repro.core.bus.AhbPlusBusTlm`'s run loop
+specialised to its single-master guarantees (proved by the batch-vs-
+serial equality tests):
+
+* one master means every arbitration round has exactly one candidate,
+  so the write buffer never absorbs (only *losing* writes are posted)
+  and the pipelined decision never fires (the only requester is always
+  the excluded just-served transaction) — each round is
+  ``issue → grant → refresh catch-up → bank timing → completion`` with
+  ``now = finish + 1``;
+* the DDR arithmetic is :class:`~repro.ddr.timeline.BankTimeline`'s,
+  transcribed operation for operation (including the subtle points: a
+  refresh drain discovered *after* ``start`` was fixed does not re-delay
+  the transfer, precharge-all honours only *open* lanes, and the busy
+  accounting never double-counts overlap cycles);
+* QoS deadlines follow :meth:`~repro.core.qos.QosRegisterFile.deadline_for`
+  exactly: an explicit transaction deadline wins, an RT master falls
+  back to ``issue + objective``, NRT transactions go unscored.
+
+Anything the array program does not model — multiple masters, extra
+slaves, fault plans, threaded/plain/RTL engines, collectors, traffic
+that fails to materialise — is detected per point and **falls back to
+the serial executor transparently**, so ``backend="batch"`` is always
+safe to request: records are bit-identical to ``backend="serial"``
+either way, only the wall clock changes.  The same holds when numpy is
+missing entirely (:data:`HAVE_NUMPY`); the backend then degrades to
+serial execution for every point.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.exec.records import RunRecord
+
+try:  # pragma: no cover - exercised via the HAVE_NUMPY gate tests
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - the container always has numpy
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+#: ``max_cycles=None`` sentinel: far beyond any simulated horizon while
+#: leaving int64 headroom for ``now + arbitration_cycles`` arithmetic.
+_NO_CEILING = 1 << 62
+
+#: "Minus infinity" for masked maxima (closed lanes in precharge-all).
+_NEG = -(1 << 62)
+
+#: Dispatch-log labels (see ``SweepRunner.dispatch_log``).
+BATCHED = "batch"
+FELL_BACK = "serial-fallback"
+
+
+def batch_precheck(point) -> bool:
+    """Cheap spec-level eligibility test — no platform build.
+
+    True when *point* plausibly fits the lockstep program: the method
+    TLM engine, one master, the single-DDR paper topology and no fault
+    injection at either the workload or slave scope.  The extractor
+    re-checks everything against the *built* platform (and inspects the
+    materialised traffic), so a precheck pass is advisory; the serving
+    layer uses it to route coalesced batches without paying a build.
+    """
+    if point.engine != "tlm":
+        return False
+    spec = point.spec
+    workload = spec.workload
+    if workload.num_masters != 1 or workload.fault is not None:
+        return False
+    try:
+        slaves = spec.resolved_slaves()
+    except Exception:  # noqa: BLE001 - a broken spec is "not eligible"
+        return False
+    if len(slaves) != 1 or slaves[0].kind != "ddr":
+        return False
+    return slaves[0].fault is None
+
+
+@dataclass
+class _Extracted:
+    """One eligible simulation, flattened to plain numbers.
+
+    Per-transaction sequences are grid-order lists; the batch builder
+    pads them into the shared (sims × transactions × segments) arrays.
+    """
+
+    job: object  # the runner's _PointJob (duck-typed to avoid a cycle)
+    max_cycles: int
+    # -- per-simulation scalars ------------------------------------------------
+    arbitration_cycles: int
+    real_time: bool
+    objective: int
+    refresh_enabled: bool
+    next_refresh_at: int
+    refresh_ready_at: int
+    t_rp: int
+    t_rcd: int
+    t_ras: int
+    t_rrd: int
+    t_wr: int
+    t_rfc: int
+    t_refi: int
+    cas_latency: int
+    write_latency: int
+    # -- initial timeline state ------------------------------------------------
+    open_row: List[int]  # -1 = closed
+    cas_ready: List[int]
+    pre_ready: List[int]
+    idle_at: List[int]
+    wr_recover: List[int]
+    data_busy: int
+    last_activate: int
+    # -- per-transaction data --------------------------------------------------
+    think: List[int]
+    not_before: List[int]
+    deadline_abs: List[int]  # -1 = unset
+    deadline_off: List[int]  # -1 = unset
+    is_write: List[bool]
+    total_bytes: List[int]
+    #: Per transaction: ``[(bank, row, beats), ...]`` in service order.
+    segments: List[List[Tuple[int, int, int]]]
+
+
+def _extract(job) -> Optional[_Extracted]:
+    """Build *job*'s platform and flatten it, or ``None`` if ineligible.
+
+    The platform is consumed (its traffic iterator is drained), so a
+    ``None`` return — or any later failure — must re-build from the
+    point; the serial fallback does exactly that.
+    """
+    from repro.core.bus import AhbPlusBusTlm
+    from repro.core.platform import TlmPlatform
+    from repro.ddr.controller import DdrControllerTlm
+
+    point = job.point
+    if point.engine != "tlm" or job.collect is not None:
+        return None
+    platform = point.build()
+    if not isinstance(platform, TlmPlatform):
+        return None
+    bus = platform.bus
+    if not isinstance(bus, AhbPlusBusTlm):
+        return None
+    if len(platform.masters) != 1 or len(platform.slaves) != 1:
+        return None
+    ddrc = platform.slaves[0]
+    if not isinstance(ddrc, DdrControllerTlm):
+        return None
+    master = platform.masters[0]
+    qos = bus.qos
+    timing = ddrc.timing
+    timeline = ddrc.timeline
+    setting = qos.setting(0)
+    out = _Extracted(
+        job=job,
+        max_cycles=_NO_CEILING if job.max_cycles is None else job.max_cycles,
+        arbitration_cycles=bus.config.arbitration_cycles,
+        real_time=qos.is_real_time(0),
+        objective=setting.objective_cycles,
+        refresh_enabled=ddrc.refresh_enabled,
+        next_refresh_at=ddrc._next_refresh_at,
+        refresh_ready_at=ddrc._refresh_ready_at,
+        t_rp=timing.t_rp,
+        t_rcd=timing.t_rcd,
+        t_ras=timing.t_ras,
+        t_rrd=timing.t_rrd,
+        t_wr=timing.t_wr,
+        t_rfc=timing.t_rfc,
+        t_refi=timing.t_refi,
+        cas_latency=timing.cas_latency,
+        write_latency=timing.write_latency,
+        open_row=[
+            -1 if lane.open_row is None else lane.open_row
+            for lane in timeline.banks
+        ],
+        cas_ready=[lane.cas_ready_at for lane in timeline.banks],
+        pre_ready=[lane.pre_ready_at for lane in timeline.banks],
+        idle_at=[lane.idle_at for lane in timeline.banks],
+        wr_recover=[lane.wr_recover_at for lane in timeline.banks],
+        data_busy=timeline.data_busy_until,
+        last_activate=timeline.last_activate_at,
+        think=[],
+        not_before=[],
+        deadline_abs=[],
+        deadline_off=[],
+        is_write=[],
+        total_bytes=[],
+        segments=[],
+    )
+    # The agent pre-fetched the first item in its constructor, fixing
+    # its issue cycle and deadline against last_finish=0 — both final.
+    txn = master._pending
+    if txn is not None:
+        if not _append_txn(
+            out,
+            ddrc,
+            txn,
+            think=master._pending_issue,
+            not_before=0,
+            deadline_abs=-1 if txn.deadline is None else txn.deadline,
+            deadline_off=-1,
+        ):
+            return None
+    # The rest of the source is still raw TrafficItems: think/not_before
+    # stay relative, deadlines resolve at (emulated) fetch time.
+    for item in master._items:
+        txn = item.txn
+        if item.absolute_deadline is not None:
+            deadline_abs, deadline_off = item.absolute_deadline, -1
+        elif item.deadline_offset is not None:
+            deadline_abs, deadline_off = -1, item.deadline_offset
+        elif txn.deadline is not None:
+            # A deadline pre-stamped on the transaction itself survives
+            # the agent's fetch untouched (trace replay does this).
+            deadline_abs, deadline_off = txn.deadline, -1
+        else:
+            deadline_abs = deadline_off = -1
+        if not _append_txn(
+            out,
+            ddrc,
+            txn,
+            think=item.think_cycles,
+            not_before=item.not_before or 0,
+            deadline_abs=deadline_abs,
+            deadline_off=deadline_off,
+        ):
+            return None
+    return out
+
+
+def _decode_segments(txn, timing, bus_bytes: int):
+    """Arithmetic (bank, row, beats) split of one burst — no beat loop.
+
+    Reproduces ``DdrControllerTlm._segments`` in O(row windows) instead
+    of O(beats): an incrementing burst's beat addresses are
+    ``addr + i*size``, so its same-(bank, row) runs are exactly its
+    chunks between row-window byte boundaries (the window is a power of
+    two, so bank/row bits are constant inside it and change across it);
+    a wrapping burst permutes addresses inside its span-aligned block,
+    which lives inside a single row window whenever the span fits, so it
+    is one segment.  Returns ``None`` for anything it cannot prove
+    equivalent — misalignment, addresses outside the device, a wrap
+    span wider than the row window — and the caller takes the per-beat
+    reference path (whose errors then disqualify the point).
+    """
+    addr = txn.addr
+    size = txn.size_bytes
+    beats = txn.beats
+    if addr < 0 or addr % size:
+        return None
+    bank_shift = timing._bank_shift
+    bank_mask = timing._bank_mask
+    row_shift = timing._row_shift
+    window = (timing._col_mask + 1) * bus_bytes
+    if txn.wrapping:
+        span = beats * size
+        base = (addr // span) * span
+        if base // window != (base + span - 1) // window:
+            return None  # wrap block straddles a row window
+        word = addr // bus_bytes
+        row = word >> row_shift
+        if row >= timing._row_limit:
+            return None
+        return [((word >> bank_shift) & bank_mask, row, beats)]
+    last = addr + (beats - 1) * size
+    if (last // bus_bytes) >> row_shift >= timing._row_limit:
+        return None  # rows are monotone, so the last beat bounds them
+    first_chunk = addr // window
+    last_chunk = last // window
+    if first_chunk == last_chunk:
+        word = addr // bus_bytes
+        return [((word >> bank_shift) & bank_mask, word >> row_shift, beats)]
+    segments = []
+    for chunk in range(first_chunk, last_chunk + 1):
+        # Beats i with addr + i*size inside [chunk*window, (chunk+1)*window).
+        lo = 0 if chunk == first_chunk else -((chunk * window - addr) // -size)
+        hi = (
+            beats
+            if chunk == last_chunk
+            else -(((chunk + 1) * window - addr) // -size)
+        )
+        if hi <= lo:
+            continue  # beat stride wider than the window skips it
+        word = (addr + lo * size) // bus_bytes
+        segments.append(
+            ((word >> bank_shift) & bank_mask, word >> row_shift, hi - lo)
+        )
+    return segments
+
+
+def _append_txn(
+    out: _Extracted,
+    ddrc,
+    txn,
+    think: int,
+    not_before: int,
+    deadline_abs: int,
+    deadline_off: int,
+) -> bool:
+    """Flatten one transaction into *out*; ``False`` means ineligible.
+
+    A transaction the array program cannot reproduce exactly — a fault
+    plan, a master-index mismatch the agent would reject mid-run, write
+    data the memory model would reject, an address the decode would
+    reject — disqualifies the whole point (the serial fallback then
+    reproduces the reference behaviour, error and all).
+    """
+    if txn.fault_plan or txn.master != 0:
+        return False
+    if txn.is_write and txn.data:
+        if len(txn.data) < txn.beats:
+            return False  # serial would IndexError mid-serve
+        limit = 8 * txn.size_bytes
+        for value in txn.data:
+            if value < 0 or value >> limit:
+                return False  # memory model rejects the beat
+    segments = _decode_segments(txn, ddrc.timing, ddrc.bus_bytes)
+    if segments is None:
+        # Geometry the arithmetic split cannot prove: take the per-beat
+        # reference walk, whose decode errors disqualify the point.
+        try:
+            segments = [
+                (baddr.bank, baddr.row, len(addrs))
+                for baddr, addrs in ddrc._segments(txn)
+            ]
+        except Exception:  # noqa: BLE001 - decode errors surface serially
+            return False
+    out.think.append(think)
+    out.not_before.append(not_before)
+    out.deadline_abs.append(deadline_abs)
+    out.deadline_off.append(deadline_off)
+    out.is_write.append(txn.is_write)
+    out.total_bytes.append(txn.total_bytes)
+    out.segments.append(segments)
+    return True
+
+
+class _Batch:
+    """The SoA program: shared arrays over N extracted simulations."""
+
+    def __init__(self, sims: Sequence[_Extracted]) -> None:
+        n = len(sims)
+        self.n = n
+        as_i64 = lambda values: np.asarray(values, dtype=np.int64)  # noqa: E731
+        per_sim = lambda attr: as_i64([getattr(s, attr) for s in sims])  # noqa: E731
+        self.max_cycles = per_sim("max_cycles")
+        self.arb = per_sim("arbitration_cycles")
+        self.objective = per_sim("objective")
+        self.t_rp = per_sim("t_rp")
+        self.t_rcd = per_sim("t_rcd")
+        self.t_ras = per_sim("t_ras")
+        self.t_rrd = per_sim("t_rrd")
+        self.t_wr = per_sim("t_wr")
+        self.t_rfc = per_sim("t_rfc")
+        self.t_refi = per_sim("t_refi")
+        self.cas_latency = per_sim("cas_latency")
+        self.write_latency = per_sim("write_latency")
+        self.real_time = np.asarray([s.real_time for s in sims], dtype=bool)
+        self.refresh_enabled = np.asarray(
+            [s.refresh_enabled for s in sims], dtype=bool
+        )
+        # Bank lanes, padded to the widest device: a padded lane starts
+        # closed and no transaction ever addresses it (the decode bounds
+        # banks per device), so precharge-all treats it as idle residue.
+        banks = max(len(s.open_row) for s in sims)
+        lane = lambda attr, fill: np.stack(  # noqa: E731
+            [
+                as_i64(getattr(s, attr) + [fill] * (banks - len(s.open_row)))
+                for s in sims
+            ]
+        )
+        self.open_row0 = lane("open_row", -1)
+        self.cas_ready0 = lane("cas_ready", 0)
+        self.pre_ready0 = lane("pre_ready", 0)
+        self.idle_at0 = lane("idle_at", 0)
+        self.wr_recover0 = lane("wr_recover", 0)
+        self.data_busy0 = per_sim("data_busy")
+        self.last_activate0 = per_sim("last_activate")
+        self.next_refresh0 = per_sim("next_refresh_at")
+        self.refresh_ready0 = per_sim("refresh_ready_at")
+        # Per-transaction tables, padded to the longest stream.
+        self.txn_count = as_i64([len(s.think) for s in sims])
+        txns = max(int(self.txn_count.max()), 1) if n else 1
+        pad = lambda attr, dtype=np.int64: np.stack(  # noqa: E731
+            [
+                np.asarray(
+                    getattr(s, attr) + [0] * (txns - len(getattr(s, attr))),
+                    dtype=dtype,
+                )
+                for s in sims
+            ]
+        )
+        self.think = pad("think")
+        self.not_before = pad("not_before")
+        self.deadline_abs = pad("deadline_abs")
+        self.deadline_off = pad("deadline_off")
+        self.is_write = pad("is_write", dtype=bool)
+        self.total_bytes = pad("total_bytes")
+        self.seg_count = np.zeros((n, txns), dtype=np.int64)
+        segs = 1
+        for s in sims:
+            for seg_list in s.segments:
+                segs = max(segs, len(seg_list))
+        self.seg_bank = np.zeros((n, txns, segs), dtype=np.int32)
+        self.seg_row = np.zeros((n, txns, segs), dtype=np.int32)
+        self.seg_beats = np.zeros((n, txns, segs), dtype=np.int32)
+        for i, s in enumerate(sims):
+            for t, seg_list in enumerate(s.segments):
+                self.seg_count[i, t] = len(seg_list)
+                for k, (bank, row, beats) in enumerate(seg_list):
+                    self.seg_bank[i, t, k] = bank
+                    self.seg_row[i, t, k] = row
+                    self.seg_beats[i, t, k] = beats
+
+    # -- emulation --------------------------------------------------------------
+
+    def emulate(self) -> dict:
+        """Run every simulation to completion; returns the counters.
+
+        One outer iteration serves one transaction on every live
+        simulation — the whole batch marches through its arbitration
+        rounds in lockstep, diverging only through the masks.
+        """
+        # Mutable state (fresh per call, so repeats re-run identically).
+        self.open_row = self.open_row0.copy()
+        self.cas_ready = self.cas_ready0.copy()
+        self.pre_ready = self.pre_ready0.copy()
+        self.idle_at = self.idle_at0.copy()
+        self.wr_recover = self.wr_recover0.copy()
+        self.data_busy = self.data_busy0.copy()
+        self.last_activate = self.last_activate0.copy()
+        self.next_refresh = self.next_refresh0.copy()
+        self.refresh_ready = self.refresh_ready0.copy()
+        n = self.n
+        now = np.zeros(n, dtype=np.int64)
+        last_finish = np.zeros(n, dtype=np.int64)
+        txn_i = np.zeros(n, dtype=np.int64)
+        transactions = np.zeros(n, dtype=np.int64)
+        bytes_moved = np.zeros(n, dtype=np.int64)
+        busy_cycles = np.zeros(n, dtype=np.int64)
+        busy_through = np.full(n, -1, dtype=np.int64)
+        hits = np.zeros(n, dtype=np.int64)
+        misses = np.zeros(n, dtype=np.int64)
+        while True:
+            live = (txn_i < self.txn_count) & (now < self.max_cycles)
+            if not live.any():
+                break
+            i = np.nonzero(live)[0]
+            t = txn_i[i]
+            # Issue timing: max(prev finish + think, not_before); the
+            # reference loop advances now to the issue cycle and then
+            # re-checks the ceiling before arbitrating.
+            issue = np.maximum(last_finish[i] + self.think[i, t], self.not_before[i, t])
+            now[i] = np.maximum(now[i], issue)
+            serving = now[i] < self.max_cycles[i]
+            i = i[serving]
+            if i.size == 0:
+                continue
+            t = t[serving]
+            issue = issue[serving]
+            # Grant, refresh permission, bank timing.  The catch-up runs
+            # once at grant (idle aging + access permission) and again at
+            # start (serve); a refresh discovered in (grant, start] does
+            # not push start further — the reference serve path never
+            # re-raises start after access_permitted_at fixed it.
+            grant = now[i] + self.arb[i]
+            self._refresh_catchup(i, grant)
+            start = np.maximum(grant, self.refresh_ready[i])
+            self._refresh_catchup(i, start)
+            command_from = start + 1
+            finish = command_from.copy()
+            write = self.is_write[i, t]
+            seg_count = self.seg_count[i, t]
+            for s in range(int(seg_count.max())):
+                seg = seg_count > s
+                finish_s, command_s = self._schedule_access(
+                    i[seg],
+                    self.seg_bank[i[seg], t[seg], s],
+                    self.seg_row[i[seg], t[seg], s],
+                    self.seg_beats[i[seg], t[seg], s].astype(np.int64),
+                    write[seg],
+                    command_from[seg],
+                )
+                finish[seg] = finish_s
+                command_from[seg] = command_s
+            # Completion: agent bookkeeping, QoS scoring, bus counters.
+            last_finish[i] = finish
+            deadline = self.deadline_abs[i, t]
+            offset = self.deadline_off[i, t]
+            deadline = np.where(
+                deadline >= 0,
+                deadline,
+                np.where(
+                    offset >= 0,
+                    issue + offset,
+                    np.where(self.real_time[i], issue + self.objective[i], -1),
+                ),
+            )
+            scored = deadline >= 0
+            met = scored & (finish <= deadline)
+            hits[i] += met
+            misses[i] += scored & ~met
+            transactions[i] += 1
+            bytes_moved[i] += self.total_bytes[i, t]
+            covered_from = np.maximum(start, busy_through[i] + 1)
+            busy = finish >= covered_from
+            busy_cycles[i] += np.where(busy, finish - covered_from + 1, 0)
+            busy_through[i] = np.where(busy, finish, busy_through[i])
+            now[i] = finish + 1
+            txn_i[i] = t + 1
+        return {
+            "cycles": now,
+            "transactions": transactions,
+            "bytes": bytes_moved,
+            "busy_cycles": busy_cycles,
+            "hits": hits,
+            "misses": misses,
+        }
+
+    def _schedule_access(self, i, bank, row, beats, write, command_from):
+        """Vectorised ``BankTimeline.schedule_access`` over subset *i*.
+
+        Returns ``(finish, next_command_from)`` for the subset; lane and
+        global state update in place.  *i* holds distinct simulations,
+        so the fancy-indexed scatters never collide.
+        """
+        open_row = self.open_row[i, bank]
+        cas_ready = self.cas_ready[i, bank]
+        pre_ready = self.pre_ready[i, bank]
+        hit = open_row == row
+        # _open_row, both branches at once: a conflict precharges first
+        # (tRP after tRAS/tWR clear), a closed bank activates from idle;
+        # either way tRRD serialises activates device-wide.
+        conflict = ~hit & (open_row >= 0)
+        pre_at = np.maximum(
+            np.maximum(command_from, pre_ready), self.wr_recover[i, bank]
+        )
+        act_earliest = np.where(
+            conflict,
+            pre_at + self.t_rp[i],
+            np.maximum(command_from, self.idle_at[i, bank]),
+        )
+        act_at = np.maximum(act_earliest, self.last_activate[i] + self.t_rrd[i])
+        cas_ready = np.where(hit, cas_ready, act_at + self.t_rcd[i])
+        pre_ready = np.where(hit, pre_ready, act_at + self.t_ras[i])
+        self.last_activate[i] = np.where(hit, self.last_activate[i], act_at)
+        self.open_row[i, bank] = row
+        cas_at = np.maximum(command_from, cas_ready)
+        latency = np.where(write, self.write_latency[i], self.cas_latency[i])
+        first_data = np.maximum(cas_at + latency, self.data_busy[i] + 1)
+        finish = first_data + beats - 1
+        self.data_busy[i] = finish
+        self.cas_ready[i, bank] = np.maximum(cas_ready, first_data)
+        self.wr_recover[i, bank] = np.where(
+            write, finish + self.t_wr[i], self.wr_recover[i, bank]
+        )
+        self.pre_ready[i, bank] = np.maximum(pre_ready, finish + 1)
+        return finish, cas_at + 1
+
+    def _refresh_catchup(self, i, upto) -> None:
+        """Vectorised ``DdrControllerTlm._refresh_catchup`` over *i*.
+
+        Each pass precharges-all at the due cycle (only open lanes delay
+        the precharge) and blocks the lanes for tRP+tRFC; the loop drains
+        every interval due at or before *upto*, exactly as the serial
+        while-loop does.
+        """
+        enabled = self.refresh_enabled[i]
+        due = enabled & (self.next_refresh[i] <= upto)
+        while due.any():
+            k = i[due]
+            at = self.next_refresh[k]
+            lanes_open = self.open_row[k] >= 0
+            blocked = np.where(
+                lanes_open,
+                np.maximum(self.pre_ready[k], self.wr_recover[k]),
+                _NEG,
+            )
+            pre_at = np.maximum(at, blocked.max(axis=1))
+            ready = pre_at + self.t_rp[k] + self.t_rfc[k]
+            self.open_row[k] = -1
+            self.idle_at[k] = ready[:, None]
+            self.cas_ready[k] = ready[:, None]
+            self.pre_ready[k] = ready[:, None]
+            self.wr_recover[k] = 0
+            self.refresh_ready[k] = np.maximum(self.refresh_ready[k], ready)
+            self.next_refresh[k] = at + self.t_refi[k]
+            due = enabled & (self.next_refresh[i] <= upto)
+
+
+def _records_from(sims: Sequence[_Extracted], results: dict, wall: float) -> List[RunRecord]:
+    """One :class:`RunRecord` per simulation, mirroring ``from_run``.
+
+    Counters pass through ``int()`` — numpy scalars would poison the
+    JSON canonicalisation behind ``content_key`` and the result store.
+    Wall time (excluded from equality) is apportioned evenly: the batch
+    ran as one program, so per-point attribution is an estimate.
+    """
+    share = wall / max(len(sims), 1)
+    records = []
+    for index, sim in enumerate(sims):
+        point = sim.job.point
+        spec = point.spec
+        records.append(
+            RunRecord(
+                label=point.label,
+                axis=point.axis,
+                value=repr(point.value),
+                engine=point.engine,
+                system=spec.name,
+                workload=spec.workload.name,
+                seed=spec.workload.seed,
+                cycles=int(results["cycles"][index]),
+                transactions=int(results["transactions"][index]),
+                bytes_transferred=int(results["bytes"][index]),
+                busy_cycles=int(results["busy_cycles"][index]),
+                absorbed_writes=0,  # single-master: the buffer never absorbs
+                drained_writes=0,
+                rt_deadline_hits=int(results["hits"][index]),
+                rt_deadline_misses=int(results["misses"][index]),
+                error_responses=0,  # fault-free by eligibility
+                retry_responses=0,
+                wall_seconds=share,
+            )
+        )
+    return records
+
+
+def run_batch(
+    jobs: Sequence,
+    execute_serial: Callable,
+    on_result=None,
+    dispatch_log: Optional[List[str]] = None,
+) -> List[RunRecord]:
+    """Execute *jobs*, lockstepping the eligible ones.
+
+    *execute_serial* is the runner's per-job serial executor — the
+    fallback path for ineligible points (and the error-policy owner: a
+    point whose build or traffic crashes is re-run serially so the
+    reference engine raises, or records, the reference error).  Records
+    return in grid order; ``on_result`` fires in grid order after the
+    batch completes (lockstep has no per-point completion moment until
+    the whole program finishes).  ``dispatch_log``, when given, receives
+    one :data:`BATCHED`/:data:`FELL_BACK` label per job, in grid order.
+    """
+    extracted: List[_Extracted] = []
+    order: List[Tuple[str, int]] = []  # ("batch"|"serial", index into pool)
+    fallback_jobs: List = []
+    for job in jobs:
+        sim = None
+        if HAVE_NUMPY:
+            try:
+                sim = _extract(job)
+            except Exception:  # noqa: BLE001 - rebuilt (and re-raised) serially
+                sim = None
+        if sim is None:
+            order.append((FELL_BACK, len(fallback_jobs)))
+            fallback_jobs.append(job)
+        else:
+            order.append((BATCHED, len(extracted)))
+            extracted.append(sim)
+    batch_records: List[RunRecord] = []
+    if extracted:
+        batch = _Batch(extracted)
+        repeats = max(max(sim.job.repeats for sim in extracted), 1)
+        best_wall: Optional[float] = None
+        results = None
+        for _ in range(repeats):
+            begin = time.perf_counter()
+            fresh = batch.emulate()
+            wall = time.perf_counter() - begin
+            if results is not None and any(
+                not np.array_equal(results[key], fresh[key]) for key in fresh
+            ):
+                raise SimulationError(
+                    "non-deterministic batch: lockstep emulation produced "
+                    "different counters on repeat"
+                )
+            if best_wall is None or wall < best_wall:
+                best_wall, results = wall, fresh
+        assert results is not None and best_wall is not None
+        batch_records = _records_from(extracted, results, best_wall)
+    fallback_records = [execute_serial(job) for job in fallback_jobs]
+    records = [
+        batch_records[index] if kind is BATCHED else fallback_records[index]
+        for kind, index in order
+    ]
+    if dispatch_log is not None:
+        dispatch_log.extend(kind for kind, _index in order)
+    if on_result is not None:
+        for index, record in enumerate(records):
+            on_result(index, record)
+    return records

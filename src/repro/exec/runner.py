@@ -7,13 +7,20 @@ experiment: it takes the :class:`~repro.system.spec.SweepPoint` grid a
 backend:
 
 * ``serial`` — run in-process, point by point (also the timing-faithful
-  backend: wall clocks see no pool overhead); and
+  backend: wall clocks see no pool overhead);
 * ``process`` — shard the grid over a ``multiprocessing`` pool.  Specs
   are plain picklable data (PR 2), so a worker rebuilds the platform
   from the point alone; each point's traffic regenerates in-worker from
   its own spec seed, and ``Pool.map`` with explicit chunking merges the
   records back in grid order.  Records compare equal to the serial
-  backend's because wall time is excluded from record equality.
+  backend's because wall time is excluded from record equality; and
+* ``batch`` — lockstep the grid's eligible single-master TLM points
+  through one structure-of-arrays program (:mod:`repro.exec.batch`),
+  paying the Python interpreter once per simulation round for the whole
+  grid instead of once per round per point.  Ineligible points fall
+  back to the serial executor transparently; either way the records are
+  bit-identical to ``backend="serial"``, and :attr:`SweepRunner.dispatch_log`
+  says which path served each point.
 
 ``collect`` extracts extra metrics while the platform is still alive
 (the process backend tears platforms down inside the worker).  It must
@@ -39,7 +46,7 @@ from repro.exec.records import RunRecord
 from repro.system.spec import SweepPoint
 
 #: Supported execution backends.
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "batch")
 
 #: Error policies: ``"raise"`` propagates the first failing point's
 #: exception (losing the rest of the grid); ``"record"`` turns crashes
@@ -213,6 +220,12 @@ class SweepRunner:
         self.pool = pool
         self.on_error = on_error
         self.timeout = timeout
+        #: How the last :meth:`run` served each point, in grid order:
+        #: ``"serial"``/``"process"`` on those backends; on the batch
+        #: backend ``"batch"`` for lockstepped points and
+        #: ``"serial-fallback"`` for points the array program could not
+        #: take (the serving layer reports these per burst).
+        self.dispatch_log: List[str] = []
 
     def _chunksize(self, jobs: int, workers: int) -> int:
         if self.chunksize is not None:
@@ -269,15 +282,28 @@ class SweepRunner:
             )
             for point in points
         ]
+        self.dispatch_log = []
         if self.backend == "serial":
             records: List[RunRecord] = []
             for job in jobs:
                 record = _execute(job)
+                self.dispatch_log.append("serial")
                 if on_result is not None:
                     on_result(len(records), record)
                 records.append(record)
             return records
-        return self._run_pool(jobs, on_result)
+        if self.backend == "batch":
+            from repro.exec.batch import run_batch
+
+            return run_batch(
+                jobs,
+                execute_serial=_execute,
+                on_result=on_result,
+                dispatch_log=self.dispatch_log,
+            )
+        records = self._run_pool(jobs, on_result)
+        self.dispatch_log = ["process"] * len(records)
+        return records
 
     def _run_pool(
         self, jobs: Sequence[_PointJob], on_result: Optional[OnResult] = None

@@ -21,6 +21,8 @@ JSON-lines repro that ``tests/test_repro_regressions.py`` auto-replays.
 from repro.fuzz.fuzzer import (
     CHECKS,
     DEFAULT_CHECKS,
+    DEFAULT_ENGINES,
+    ENGINES,
     FuzzFailure,
     FuzzReport,
     Fuzzer,
@@ -39,6 +41,8 @@ from repro.fuzz.shrink import shrink_records
 __all__ = [
     "CHECKS",
     "DEFAULT_CHECKS",
+    "DEFAULT_ENGINES",
+    "ENGINES",
     "FuzzFailure",
     "FuzzReport",
     "Fuzzer",

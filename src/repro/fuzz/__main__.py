@@ -12,7 +12,13 @@ import argparse
 import os
 import sys
 
-from repro.fuzz.fuzzer import CHECKS, DEFAULT_CHECKS, DEFAULT_MAX_CYCLES, Fuzzer
+from repro.fuzz.fuzzer import (
+    CHECKS,
+    DEFAULT_CHECKS,
+    DEFAULT_ENGINES,
+    DEFAULT_MAX_CYCLES,
+    Fuzzer,
+)
 from repro.fuzz.repro import Repro, save_repro
 
 
@@ -30,8 +36,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engines",
         type=_csv,
-        default=("tlm", "plain", "rtl"),
-        help="comma-separated engine levels (first is the reference)",
+        default=DEFAULT_ENGINES,
+        help="comma-separated engine levels (first is the reference; "
+        "'rtl-full' is the always-sweeping RTL reference kernel)",
     )
     parser.add_argument(
         "--checks",

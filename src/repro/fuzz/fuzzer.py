@@ -32,6 +32,16 @@ from repro.traffic.workloads import MasterSpec, Workload
 CHECKS = ("protocol", "ordering", "divergence", "qos")
 DEFAULT_CHECKS = ("protocol", "ordering", "divergence")
 
+#: Engines the fuzzer can run: every platform level, plus the
+#: ``"rtl-full"`` pseudo-engine — the RTL platform elaborated with
+#: ``full_sweep=True``, i.e. the always-sweeping reference kernel the
+#: event-driven scheduler is A/B'd against.  Keeping both in the
+#: default matrix makes every campaign a cross-check of the
+#: event-driven fast path against its own reference *and* the TLM/plain
+#: models.
+ENGINES = LEVELS + ("rtl-full",)
+DEFAULT_ENGINES = ("tlm", "plain", "rtl", "rtl-full")
+
 #: Default per-run drain ceiling: far above any legal small scenario,
 #: so hitting it means a deadlocked engine (reported as a crash).
 DEFAULT_MAX_CYCLES = 200_000
@@ -119,7 +129,7 @@ class Fuzzer:
 
     def __init__(
         self,
-        engines: Sequence[str] = ("tlm", "plain", "rtl"),
+        engines: Sequence[str] = DEFAULT_ENGINES,
         checks: Sequence[str] = DEFAULT_CHECKS,
         masters: Tuple[int, int] = (1, 3),
         transactions: Tuple[int, int] = (3, 10),
@@ -130,9 +140,9 @@ class Fuzzer:
         if len(engines) < 1:
             raise ConfigError("fuzzer needs at least one engine")
         for engine in engines:
-            if engine not in LEVELS:
+            if engine not in ENGINES:
                 raise ConfigError(
-                    f"unknown engine {engine!r}; choose from {LEVELS}"
+                    f"unknown engine {engine!r}; choose from {ENGINES}"
                 )
         checks = tuple(checks)
         unknown = set(checks) - set(CHECKS)
@@ -236,7 +246,11 @@ class Fuzzer:
 
     def _run_engine(self, spec: SystemSpec, engine: str, seed: Optional[int]):
         """One engine run: returns (records, [(checker, violation)...])."""
-        platform = PlatformBuilder(spec).build(engine)
+        if engine == "rtl-full":
+            level, full_sweep = "rtl", True
+        else:
+            level, full_sweep = engine, False
+        platform = PlatformBuilder(spec).build(level, full_sweep=full_sweep)
         recorder = TraceRecorder()
         platform.attach(recorder)
         checkers = []
@@ -248,7 +262,7 @@ class Fuzzer:
             checkers.append(QosPropertyChecker().bind(engine, seed))
         for checker in checkers:
             platform.attach(checker)
-        if engine == "rtl" and "protocol" in self.checks:
+        if level == "rtl" and "protocol" in self.checks:
             rtl_checker = RtlProtocolChecker(
                 [master.sig for master in platform.masters], platform.bus
             )

@@ -51,6 +51,19 @@ contract: while idle, the reference engine running the process every
 cycle would neither change component state (beyond what the component
 re-accounts on wake) nor drive any signal to a new value.
 
+Update dispatch is event-driven: scheduled self-wakes live on a
+bucketed :class:`~repro.kernel.events.EventQueue` (invalidated lazily —
+an entry is live only while its handle is still idle with that exact
+wake cycle), and active cycles iterate a registration-order *run list*
+of awake handles instead of sweeping every registered process.  An
+active cycle therefore costs O(components with pending transitions),
+and the skip-ahead wake target is a queue peek instead of an
+O(components) scan.  Mid-update wakes preserve the reference sweep's
+visit semantics exactly: a handle woken by an earlier-registered
+process runs in the same cycle (spliced into the run list at its
+registration-order position), one woken by a later-registered process
+runs the next cycle.
+
 When *every* sequential handle is idle and no combinational work is
 pending, :meth:`CycleEngine.run`/:meth:`run_until` **skip ahead**: the
 cycle counter advances analytically to the earliest scheduled wake
@@ -69,9 +82,10 @@ and skip-ahead too, restoring the reference per-cycle sweep).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import CombinationalLoopError, SimulationError
+from repro.kernel.events import EventQueue
 from repro.kernel.signal import Signal
 
 CombProcess = Callable[[], None]
@@ -118,31 +132,57 @@ class SeqHandle:
     process skippable (optionally until a scheduled wake cycle) and
     :meth:`wake` re-arms it.  See the module docstring for the no-op
     obligation an idle declaration carries.
+
+    Scheduled wakes are events: ``idle(until=...)`` pushes a
+    ``(cycle, handle)`` entry onto the engine's wake queue.  Entries are
+    invalidated lazily — one is live only while its handle is still
+    idle with ``wake_at`` at (or before) the popped timestamp — so
+    re-arming or re-scheduling never has to search the queue.
     """
 
-    __slots__ = ("fn", "active", "wake_at", "_engine")
+    __slots__ = ("fn", "active", "wake_at", "order", "_listed", "_engine")
 
-    def __init__(self, fn: SeqProcess, engine: "CycleEngine") -> None:
+    def __init__(self, fn: SeqProcess, engine: "CycleEngine", order: int = 0) -> None:
         self.fn = fn
         self._engine = engine
         self.active = True
+        #: Registration index — the reference sweep's visit position,
+        #: used to keep the event-driven run list order-identical.
+        self.order = order
+        #: Whether the handle currently has an entry in the engine's run
+        #: list (entries persist as skippable stales after idling).
+        self._listed = False
         #: Cycle at which the engine re-arms the handle by itself, or
         #: ``None`` for event-only wake (an input edge / explicit wake).
         self.wake_at: Optional[int] = None
 
     def idle(self, until: Optional[int] = None) -> None:
         """Declare the process a no-op until *until* (or an input edge)."""
+        engine = self._engine
         if self.active:
             self.active = False
-            self._engine._active_seq -= 1
+            engine._active_seq -= 1
+        elif self.wake_at == until:
+            return  # unchanged schedule: the queued entry is still live
         self.wake_at = until
+        if until is not None and engine._quiescence:
+            engine._wake_queue.push(until, self)
 
     def wake(self) -> None:
         """Re-arm the process (no-op when it is already active)."""
         if not self.active:
             self.active = True
             self.wake_at = None
-            self._engine._active_seq += 1
+            engine = self._engine
+            engine._active_seq += 1
+            if not self._listed:
+                if engine._in_update and self.order > engine._cur_order:
+                    # Woken mid-update by an earlier-registered process:
+                    # the reference sweep would still visit it this
+                    # cycle, so splice it into the remaining run list.
+                    engine._insert_run(self)
+                else:
+                    engine._run_dirty = True
 
 
 class _NullSeqHandle:
@@ -205,9 +245,27 @@ class CycleEngine:
         #: Number of currently active (non-idle) sequential handles.
         self._active_seq = 0
         self._seq_total = 0
+        #: Scheduled self-wakes as (cycle, handle) events; entries are
+        #: lazily invalidated (see :class:`SeqHandle`).
+        self._wake_queue = EventQueue()
+        #: Awake handles in registration order; stale (re-idled) entries
+        #: are skipped at visit time and dropped at the next rebuild.
+        self._run_list: List[SeqHandle] = []
+        #: An active handle exists that is not on the run list yet.
+        self._run_dirty = True
+        #: True while the update phase iterates the run list; gates the
+        #: mid-update wake splice in :meth:`SeqHandle.wake`.
+        self._in_update = False
+        #: Registration order of the handle currently being updated.
+        self._cur_order = -1
+        #: Run-list index of the handle currently being updated.
+        self._run_pos = 0
         #: A static combinational process forbids skip-ahead: it runs
         #: every pass, so an "idle" cycle could still change signals.
         self._has_static_comb = False
+        #: Cached ``_has_static_comb or not sensitivity`` — the per-step
+        #: "must settle even when nothing is pending" test.
+        self._settle_live = not sensitivity
         self.cycles_skipped = 0
         #: signal -> dependent combinational handles (shared with the
         #: watcher closures, so late registrations extend them in place).
@@ -245,16 +303,22 @@ class CycleEngine:
 
                 def on_change(_sig: Signal, deps: List[CombHandle] = deps) -> None:
                     self._pass_changed = True
-                    self._comb_pending = True
-                    for handle in deps:
-                        handle.dirty = True
+                    # A dep-free registered signal (data buses, counters)
+                    # dirties nothing, so its commit need not schedule a
+                    # settle.  The list is shared with _dep_list, so a
+                    # later sensitivity registration is seen here.
+                    if deps:
+                        self._comb_pending = True
+                        for handle in deps:
+                            handle.dirty = True
 
             else:
 
                 def on_change(_sig: Signal, deps: List[CombHandle] = deps) -> None:
-                    self._comb_pending = True
-                    for handle in deps:
-                        handle.dirty = True
+                    if deps:
+                        self._comb_pending = True
+                        for handle in deps:
+                            handle.dirty = True
 
             sig.watch(on_change)
             self._watched[sig] = registered
@@ -270,7 +334,9 @@ class CycleEngine:
     def add_combinational(
         self,
         process: CombProcess,
-        sensitive_to: Optional[Sequence[Signal]] = None,
+        sensitive_to: Optional[
+            Sequence[Union[Signal, Tuple[Signal, Callable[[], bool]]]]
+        ] = None,
     ) -> CombHandle:
         """Register a combinational process; returns its :class:`CombHandle`.
 
@@ -278,22 +344,48 @@ class CycleEngine:
         evaluate pass).  With a sensitivity list it runs only when one
         of the listed signals changed since its last evaluation — see
         the module docstring for the purity/touch obligations.
+
+        As with :meth:`add_sequential`, an entry may be a ``(signal,
+        predicate)`` pair: the change marks the process dirty only while
+        ``predicate()`` is true.  The predicate must be conservative
+        over the *output* function — whenever the changed signal can
+        influence any value the process drives, it returns true.
+        Predicates read sequential-phase component state, which is
+        stable for the whole settle, so the filter decision cannot
+        change mid-evaluate.
         """
         handle = CombHandle(process, static=sensitive_to is None, engine=self)
         self._comb.append(handle)
         self._comb_pending = True
         if sensitive_to is not None:
-            for sig in sensitive_to:
-                self._dep_list(sig).append(handle)
-                self._attach_watcher(sig, registered=False)
+            for entry in sensitive_to:
+                if type(entry) is tuple:
+                    sig, predicate = entry
+
+                    def on_change(
+                        _sig: Signal,
+                        handle: CombHandle = handle,
+                        predicate: Callable[[], bool] = predicate,
+                    ) -> None:
+                        if predicate():
+                            handle.dirty = True
+                            self._comb_pending = True
+
+                    sig.watch(on_change)
+                else:
+                    self._dep_list(entry).append(handle)
+                    self._attach_watcher(entry, registered=False)
         else:
             self._has_static_comb = True
+            self._settle_live = True
         return handle
 
     def add_sequential(
         self,
         process: SeqProcess,
-        wake_on: Optional[Sequence[Signal]] = None,
+        wake_on: Optional[
+            Sequence[Union[Signal, Tuple[Signal, Callable[[], bool]]]]
+        ] = None,
     ) -> SeqHandle:
         """Register a sequential process; returns its :class:`SeqHandle`.
 
@@ -303,16 +395,40 @@ class CycleEngine:
         phase re-arms it for the same cycle's update, a change during
         the commit phase for the next cycle's (exactly when the changed
         value becomes observable to the process).
+
+        An entry may also be a ``(signal, predicate)`` pair: the change
+        re-arms the handle only while ``predicate()`` is true.  The
+        predicate must be *conservative* — whenever the idle process
+        would act on the changed value, it returns true (a spurious true
+        only costs one no-op update; a false negative loses a cycle the
+        reference sweep would have seen).  Components use this to mask
+        edges their current FSM state provably ignores.
         """
-        handle = SeqHandle(process, self)
+        handle = SeqHandle(process, self, order=self._seq_total)
         self._seq.append(handle)
         self._active_seq += 1
         self._seq_total += 1
+        self._run_dirty = True
         if wake_on is not None:
-            for sig in wake_on:
+            for entry in wake_on:
+                if type(entry) is tuple:
+                    sig, predicate = entry
 
-                def on_change(_sig: Signal, handle: SeqHandle = handle) -> None:
-                    handle.wake()
+                    def on_change(
+                        _sig: Signal,
+                        handle: SeqHandle = handle,
+                        predicate: Callable[[], bool] = predicate,
+                    ) -> None:
+                        if predicate():
+                            handle.wake()
+
+                else:
+                    sig = entry
+
+                    def on_change(  # type: ignore[misc]
+                        _sig: Signal, handle: SeqHandle = handle
+                    ) -> None:
+                        handle.wake()
 
                 sig.watch(on_change)
         return handle
@@ -397,28 +513,86 @@ class CycleEngine:
                 sig.commit()
             pending.clear()
 
+    def _rebuild_run_list(self) -> None:
+        """Recollect the awake handles in registration order."""
+        run_list = []
+        for handle in self._seq:
+            if handle.active:
+                handle._listed = True
+                run_list.append(handle)
+            else:
+                handle._listed = False
+        self._run_list = run_list
+        self._run_dirty = False
+
+    def _insert_run(self, handle: SeqHandle) -> None:
+        """Splice a mid-update wake into the rest of this cycle's pass.
+
+        The run list is sorted by registration order (stale entries keep
+        their slots), so a bisect past the current position lands the
+        handle exactly where the reference sweep would visit it.
+        """
+        run_list = self._run_list
+        order = handle.order
+        lo = self._run_pos + 1
+        hi = len(run_list)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if run_list[mid].order < order:
+                lo = mid + 1
+            else:
+                hi = mid
+        run_list.insert(lo, handle)
+        handle._listed = True
+
     def step(self) -> None:
         """Advance one clock cycle (evaluate, then update)."""
         # The _settle/_commit calls are guarded here so a clean phase
         # costs one flag test instead of a function call — this loop is
         # the whole RTL model's per-cycle overhead.
-        settle_live = self._has_static_comb or not self._sensitivity
+        settle_live = self._settle_live
         # Step 1: evaluate — settle all combinational logic.
         if settle_live or self._comb_pending:
             self._settle()
         # Step 2: update — sequential processes sample settled inputs...
-        if self._quiescence and self._active_seq != self._seq_total:
+        if self._quiescence:
             cyc = self.cycle
-            for handle in self._seq:
-                if handle.active:
-                    handle.fn()
-                elif handle.wake_at is not None and handle.wake_at <= cyc:
-                    # Scheduled self-wake (think-time expiry, refresh
-                    # deadline): re-arm and run this cycle.
-                    handle.active = True
-                    handle.wake_at = None
-                    self._active_seq += 1
-                    handle.fn()
+            # Fire due scheduled wakes (think-time expiry, refresh
+            # deadline).  Stale entries — handle re-armed or re-scheduled
+            # since the push — are discarded here, lazily.
+            wake_queue = self._wake_queue
+            if wake_queue._size:
+                when = wake_queue.peek_time()
+                while when is not None and when <= cyc:
+                    handle = wake_queue.pop()[1]
+                    if (
+                        not handle.active
+                        and handle.wake_at is not None
+                        and handle.wake_at <= cyc
+                    ):
+                        handle.active = True
+                        handle.wake_at = None
+                        self._active_seq += 1
+                        if not handle._listed:
+                            self._run_dirty = True
+                    when = wake_queue.peek_time()
+            if self._active_seq:
+                if self._run_dirty:
+                    self._rebuild_run_list()
+                run_list = self._run_list
+                self._in_update = True
+                pos = 0
+                n = len(run_list)
+                while pos < n:
+                    handle = run_list[pos]
+                    if handle.active:
+                        self._run_pos = pos
+                        self._cur_order = handle.order
+                        handle.fn()
+                        # Only fn() can splice new entries into the list.
+                        n = len(run_list)
+                    pos += 1
+                self._in_update = False
         else:
             for handle in self._seq:
                 handle.fn()
@@ -450,13 +624,25 @@ class CycleEngine:
         )
 
     def _wake_target(self, limit: int) -> int:
-        """Earliest scheduled wake among idle handles, clamped to *limit*."""
-        target = limit
-        for handle in self._seq:
-            wake = handle.wake_at
-            if wake is not None and wake < target:
-                target = wake
-        return target
+        """Earliest scheduled wake among idle handles, clamped to *limit*.
+
+        A queue peek instead of an O(components) scan: stale entries at
+        the head (handle re-armed or re-scheduled since the push) are
+        popped and dropped; the first live entry is left in place for
+        :meth:`step`'s due-wake processing and its time returned.  Every
+        idle handle with a ``wake_at`` is guaranteed a live entry at
+        exactly that cycle (see :meth:`SeqHandle.idle`), so the clamp
+        semantics match the old scan bit for bit.
+        """
+        wake_queue = self._wake_queue
+        while True:
+            head = wake_queue.front()
+            if head is None or head[0] >= limit:
+                return limit
+            handle = head[1]
+            if not handle.active and handle.wake_at == head[0]:
+                return head[0]
+            wake_queue.pop()
 
     def _advance_idle(self, target: int) -> None:
         """Jump the cycle counter to *target* without stepping.

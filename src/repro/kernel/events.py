@@ -159,6 +159,19 @@ class EventQueue:
             return None
         return self._times[0]
 
+    def front(self) -> Optional[Tuple[int, Action]]:
+        """Return the earliest ``(time, action)`` pair without removing it.
+
+        Lets consumers that interleave live and stale entries (the cycle
+        engine's lazily-invalidated wake schedule) inspect the head and
+        decide whether to :meth:`pop` it, without a remove/re-push round
+        trip that would perturb FIFO order inside the bucket.
+        """
+        if not self._size:
+            return None
+        time = self._times[0]
+        return time, self._buckets[time][0]
+
     def pop(self) -> Tuple[int, Action]:
         """Remove and return the earliest ``(time, action)`` pair."""
         if not self._size:

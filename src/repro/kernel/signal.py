@@ -145,11 +145,10 @@ class Signal:
 
         Returns ``True`` when the visible value changed.
         """
-        if self._next is _UNSET:
-            return False
         pending = self._next
+        if pending is _UNSET:
+            return False
         self._next = _UNSET
-        assert isinstance(pending, int)
         if pending == self.value:
             return False
         self.value = pending

@@ -210,7 +210,19 @@ class ArbiterRtl:
         if not self.config.request_pipelining or self._locked_next:
             return
         remaining = self.bus.ddr_remaining.value
-        if remaining == 0 or remaining > self.config.pipeline_lead + 1:
+        if remaining == 0:
+            return
+        lead_gap = remaining - (self.config.pipeline_lead + 1)
+        if lead_gap > 0:
+            # The lock window opens when the remaining-beat countdown
+            # reaches pipeline_lead + 1.  It moves at most one beat per
+            # cycle, so the window cannot open before now + lead_gap:
+            # sleep until then instead of polling every streaming cycle.
+            # A slave draining slower than one beat per cycle just lands
+            # the wake early — the re-computed gap re-arms the sleep —
+            # and every input edge that could matter sooner (a new
+            # HBUSREQ, the transfer ending) is on the wake-on list.
+            self.seq.idle(until=now + lead_gap)
             return
         candidates = self._candidates()
         if not candidates:

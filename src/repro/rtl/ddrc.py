@@ -154,6 +154,10 @@ class DdrcRtl:
         self.out: Union[SharedBusSignals, SlaveResponseSignals] = (
             out if out is not None else bus
         )
+        # Direct references to the per-cycle hot inputs (one attribute
+        # hop instead of two on the paths update() walks every cycle).
+        self._bus_htrans = bus.htrans
+        self._bi_next_valid = bi.next_valid
         self.accepts = accepts
         self.engine = engine
         self.timing = timing
@@ -179,6 +183,17 @@ class DdrcRtl:
         #: charged in one subtraction on wake.
         self.seq = NULL_SEQ_HANDLE
         self._last_update_cycle = -1
+        #: Ticks deferred over lean streaming cycles, settled via
+        #: ``scheduler.skip`` before the next live decide (see
+        #: :meth:`update`).
+        self._tick_debt = 0
+        #: Cached :meth:`_queue_parked` verdict.  Valid only while no
+        #: queue mutation or scheduler run has happened since it was
+        #: taken (every such site clears the flag); bank states are
+        #: frozen over that window because ticks are deferred and
+        #: commands only issue through :meth:`_run_scheduler`.
+        self._parked_cache = False
+        self._parked_valid = False
         #: Accesses whose address phase has been taken (drives the
         #: bus_available/ddr_busy outputs without a per-cycle queue scan).
         self._bus_started = 0
@@ -247,10 +262,12 @@ class DdrcRtl:
             access.segments.append(segment)
             self.scheduler.enqueue(segment)
         self.queue.append(access)
+        self._parked_valid = False
         return access
 
     def _drop_stale_prepared(self) -> None:
         """Remove prepared accesses that never became bus transfers."""
+        self._parked_valid = False
         stale = [a for a in self.queue if a.prepared and not a.bus_started]
         for access in stale:
             for segment in access.segments:
@@ -274,9 +291,9 @@ class DdrcRtl:
         # up instead of creating a stale duplicate.  (The guards mirror
         # the helpers' own first-line early exits; hoisting them elides
         # the calls on the hot per-cycle path.)
-        if self.bi.next_valid.value:
+        if self._bi_next_valid.value:
             self._accept_bi_next(now)
-        if self.bus.htrans.value == _NONSEQ:
+        if self._bus_htrans.value == _NONSEQ:
             self._accept_address_phase(now)
         # Refresh tick, inlined from the former _tick_refresh (once per
         # cycle on the hottest sequential path).
@@ -284,12 +301,53 @@ class DdrcRtl:
             self._refresh_counter -= delta
             if self._refresh_counter <= 0:
                 self._refresh_pending = True
-        # Banks tick before the scheduler decides, so a transition that
-        # completes this cycle can be followed by its dependent command
-        # immediately — keeping PRE→ACT→CAS spacing at exactly
-        # tRP/tRCD, the same arithmetic the TLM timeline uses.
-        self.scheduler.tick()
-        self._run_scheduler(now)
+        stream = self._stream
+        lean = (
+            self.streaming
+            and stream is not None
+            and not self._bank_activity
+            and self._parked_now()
+        )
+        if lean:
+            # Lean streaming beat: decide() is provably a NOP — refresh
+            # cannot force mid-stream, CAS is blocked by the busy data
+            # path, and every queued segment is either the one streaming
+            # (CAS issued) or parked on its already-open row, so the
+            # ACT/PRE candidate scans find nothing.  With no bank
+            # transition in flight tick() only drains saturating
+            # tRAS/tWR/tRRD counters (streamed mode arms write recovery
+            # analytically at CAS, so no per-beat re-arm interleaves
+            # with the deferred ticks).  Defer the tick; the debt
+            # settles in one scheduler.skip before the next cycle that
+            # can actually issue a command.  *delta* (not 1): cycles
+            # slept through a CAS-latency window owe their ticks too.
+            self._tick_debt += delta
+            if (
+                not self._fault_resp
+                and not self._fault_clear
+                and now + 1 > stream.data_start
+            ):
+                # Steady mid-stream beat: every handshake output is
+                # already at its streaming value.
+                self._drive_outputs_lean(stream)
+                self._assess_quiescence(now)
+                return
+        else:
+            # Ticks owed: the deferred debt plus any cycles slept since
+            # the last update (minus this cycle's own live tick below).
+            # The fully-idle sleep contributes only no-op ticks here —
+            # its entry condition proved every timer drained.
+            debt = self._tick_debt + delta - 1
+            if debt:
+                self.scheduler.skip(debt)
+                self._tick_debt = 0
+            # Banks tick before the scheduler decides, so a transition
+            # that completes this cycle can be followed by its dependent
+            # command immediately — keeping PRE→ACT→CAS spacing at
+            # exactly tRP/tRCD, the same arithmetic the TLM timeline
+            # uses.
+            self.scheduler.tick()
+            self._run_scheduler(now)
         self._drive_outputs(now)
         self._assess_quiescence(now)
 
@@ -334,6 +392,7 @@ class DdrcRtl:
         retired = self.scheduler.retire_head()
         if retired is not stream.segment:
             raise SimulationError("DDRC retired an unexpected segment")
+        self._parked_valid = False
         stream.access.segments_done += 1
         if stream.access.complete:
             if stream.access.is_write:
@@ -371,6 +430,7 @@ class DdrcRtl:
                         if segment in self.scheduler.queue:
                             self.scheduler.queue.remove(segment)
                     self.queue.remove(access)
+                    self._parked_valid = False
                     break
             if self._fault_resp:
                 raise SimulationError(
@@ -421,6 +481,32 @@ class DdrcRtl:
 
     # -- step 4: one DDR command per cycle ----------------------------------------------------
 
+    def _queue_parked(self) -> bool:
+        """Every queued segment is served or waiting only on the data path.
+
+        True when each segment either has its CAS issued (the streaming
+        head) or sits on a bank that is steadily ACTIVE with the
+        segment's own row open — rows prepared, nothing for the
+        scheduler to do until the data path frees up.  Callers pair this
+        with ``not _bank_activity`` (no transition in flight), which
+        also freezes every bank state the predicate just read.
+        """
+        banks = self.banks
+        for segment in self.scheduler.queue:
+            if segment.cas_issued:
+                continue
+            bank = banks[segment.baddr.bank]
+            if bank.state is not BankState.ACTIVE or bank.open_row != segment.baddr.row:
+                return False
+        return True
+
+    def _parked_now(self) -> bool:
+        """:meth:`_queue_parked` through the validity cache."""
+        if not self._parked_valid:
+            self._parked_cache = self._queue_parked()
+            self._parked_valid = True
+        return self._parked_cache
+
     def _head_cas_allowed(self) -> bool:
         """CAS may issue only for a bus-started head with a free data path."""
         if self._stream is not None:
@@ -432,6 +518,8 @@ class DdrcRtl:
         return head.access.bus_started
 
     def _run_scheduler(self, now: int) -> None:
+        # Bank states just ticked and a command may issue below.
+        self._parked_valid = False
         refresh_forced = (
             self._refresh_pending
             and self._stream is None
@@ -493,6 +581,46 @@ class DdrcRtl:
             and self.engine.cycle + 1 >= stream.data_start
             and stream.beats_done < stream.length
         )
+
+    def _drive_outputs_lean(self, stream: _Stream) -> None:
+        """Registered outputs for a steady mid-stream beat.
+
+        The caller guarantees the stream survived this cycle's beat,
+        its data phase started on an *earlier* cycle (so HREADY, the
+        stream owner, HRESP and ddr_busy already hold their streaming
+        values), no fault response is latched or clearing, and no bank
+        transition is in flight (idle map frozen).  Only the read-data
+        bus, the final-segment countdown with its bus_available flip,
+        and the refresh-pending flag can move — every other drive in
+        :meth:`_drive_outputs` would compare equal, pinned by the VCD
+        equality suite against the full driver.
+        """
+        access = stream.access
+        out = self.out
+        if not access.is_write:
+            rdata = stream.rdata
+            out.hrdata.drive_next_lazy(
+                rdata[stream.beats_done]
+                if rdata is not None
+                else self.memory.read(
+                    stream.segment.addrs[stream.beats_done],
+                    access.size_bytes,
+                )
+            )
+        if stream.is_last_segment:
+            remaining = stream.length - stream.beats_done
+            if out.ddr_remaining.value != remaining:
+                out.ddr_remaining.drive_next(remaining)
+            started = self._bus_started
+            available = (
+                1 if started == 0 or (started == 1 and remaining == 1) else 0
+            )
+            if out.bus_available.value != available:
+                out.bus_available.drive_next(available)
+        bi = self.bi
+        refresh_busy = 1 if self._refresh_pending else 0
+        if bi.refresh_busy.value != refresh_busy:
+            bi.refresh_busy.drive_next(refresh_busy)
 
     def _drive_outputs(self, now: int) -> None:
         """Register next-cycle outputs.
@@ -606,8 +734,8 @@ class DdrcRtl:
             and not self._fault_resp
             and not self._fault_clear
             and not self._refresh_pending
-            and not self.bi.next_valid.value
-            and self.bus.htrans.value != _NONSEQ
+            and not self._bi_next_valid.value
+            and self._bus_htrans.value != _NONSEQ
             and self.scheduler.quiescent()
         ):
             self.seq.idle(
@@ -615,6 +743,35 @@ class DdrcRtl:
                 if self.refresh_enabled
                 else None
             )
+            return
+        # CAS-latency window: the command has issued but its first data
+        # beat is still >1 cycle out.  With the queue parked and no bank
+        # transition in flight, every intervening update is the lean
+        # no-op above (ticks deferred, outputs steady), so sleep through
+        # the window and wake at data_start - 1 — the cycle that must
+        # drive HREADY for the first beat.  The refresh countdown is the
+        # one clock that could move an output mid-window: its crossing
+        # cycle is exact (the counter drops 1 per cycle), so wake there
+        # instead if it comes first.  An address phase or BI pulse wakes
+        # the handle through the builder's wake-on list.
+        stream = self._stream
+        if (
+            self.streaming
+            and stream is not None
+            and now + 2 < stream.data_start
+            and not self._bank_activity
+            and not self._fault_resp
+            and not self._fault_clear
+            and not self._bi_next_valid.value
+            and self._bus_htrans.value != _NONSEQ
+            and self._parked_now()
+        ):
+            wake = stream.data_start - 1
+            if self.refresh_enabled and not self._refresh_pending:
+                crossing = now + self._refresh_counter
+                if crossing < wake:
+                    wake = crossing
+            self.seq.idle(until=wake)
 
     # -- status ------------------------------------------------------------------------------------
 

@@ -43,6 +43,11 @@ class MasterState(enum.Enum):
 class MasterRtl:
     """One AHB+ master at signal level."""
 
+    #: State aliases for wake-filter predicates (shared shape with the
+    #: buffer drain engine, so the platform builder wires both the same).
+    REQUEST_STATE = MasterState.REQUEST
+    DATA_STATE = MasterState.DATA
+
     def __init__(
         self,
         agent: TlmMaster,
@@ -55,6 +60,11 @@ class MasterRtl:
         self.sig = signals
         self.bus = bus
         self.engine = engine
+        # Direct references to the per-cycle hot inputs.
+        self._hgrant = signals.hgrant
+        self._hready = bus.hready
+        self._stream_owner = bus.stream_owner
+        self._bus_available = bus.bus_available
         self.state = MasterState.IDLE
         self._txn: Optional[Transaction] = None
         self._beat = 0
@@ -62,8 +72,16 @@ class MasterRtl:
         # evaluate() is a function of (hgrant, bus_available) plus FSM
         # state that only mutates in the sequential phase; update() and
         # absorb_current() touch the handle whenever that state moves.
+        # The signal inputs reach the outputs only through
+        # _drives_address_now(), so their edges are filtered to the
+        # REQUEST state — IDLE/DATA evaluations re-run via touch alone.
+        requesting = self._requesting
         self._eval = engine.add_combinational(
-            self.evaluate, sensitive_to=(signals.hgrant, bus.bus_available)
+            self.evaluate,
+            sensitive_to=(
+                (signals.hgrant, requesting),
+                (bus.bus_available, requesting),
+            ),
         )
         #: Quiescence handle, bound by the platform builder.  An idle
         #: master with nothing to fetch sleeps until its next item's
@@ -85,11 +103,14 @@ class MasterRtl:
         """All traffic issued and completed."""
         return self.agent.done and self.state is MasterState.IDLE
 
+    def _requesting(self) -> bool:
+        return self.state is MasterState.REQUEST
+
     def _drives_address_now(self) -> bool:
         return (
             self.state is MasterState.REQUEST
-            and bool(self.sig.hgrant.value)
-            and bool(self.bus.bus_available.value)
+            and bool(self._hgrant.value)
+            and bool(self._bus_available.value)
         )
 
     # -- combinational phase ----------------------------------------------------------
@@ -146,8 +167,15 @@ class MasterRtl:
         if (
             self.state is not state0
             or self._txn is not txn0
-            or self._beat != beat0
+            or (
+                self._beat != beat0
+                and txn0 is not None
+                and txn0.is_write
+            )
         ):
+            # A read's data beats never reach evaluate()'s outputs (no
+            # HWDATA to advance), so mid-burst read beats skip the
+            # re-evaluation entirely.
             self._eval.touch()
         self._assess_quiescence(now)
 
@@ -175,12 +203,12 @@ class MasterRtl:
                 if nxt is not None and nxt - 1 > now:
                     self.seq.idle(until=nxt - 1)
         elif state is MasterState.REQUEST:
-            if not (self.sig.hgrant.value and self.bus.bus_available.value):
+            if not (self._hgrant.value and self._bus_available.value):
                 self.seq.idle()
         else:  # DATA
             if not (
-                self.bus.hready.value
-                and self.bus.stream_owner.value == self.index
+                self._hready.value
+                and self._stream_owner.value == self.index
             ):
                 self.seq.idle()
 
@@ -188,8 +216,8 @@ class MasterRtl:
         txn = self._txn
         assert txn is not None
         if (
-            bool(self.bus.hready.value)
-            and self.bus.stream_owner.value == self.index
+            bool(self._hready.value)
+            and self._stream_owner.value == self.index
         ):
             resp = self.bus.hresp.value
             if resp:

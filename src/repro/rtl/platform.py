@@ -85,12 +85,25 @@ class RtlPlatform:
         """
         self.observers.append(observer)
 
+    #: First master index not yet permanently drained — a monotone
+    #: cursor (``MasterRtl.done`` latches true), so the per-cycle
+    #: predicate skips the finished prefix instead of re-polling it.
+    #: Deliberately a plain class attribute, not a dataclass field.
+    _drain_cursor = 0
+
     def _drained(self) -> bool:
         # Explicit loops: this predicate runs every stepped cycle and
         # the generator-expression form showed up in profiles.
-        for master in self.masters:
-            if not master.done:
+        masters = self.masters
+        cursor = self._drain_cursor
+        while cursor < len(masters):
+            if not masters[cursor].done:
+                if cursor != self._drain_cursor:
+                    self._drain_cursor = cursor
                 return False
+            cursor += 1
+        if cursor != self._drain_cursor:
+            self._drain_cursor = cursor
         if not self.buffer_master.done:
             return False
         if not self.ddrc.idle:

@@ -30,6 +30,10 @@ class DrainState(enum.Enum):
 class BufferMasterRtl:
     """Signal-level drain engine of the AHB+ write buffer."""
 
+    #: State aliases for wake-filter predicates (see MasterRtl).
+    REQUEST_STATE = DrainState.REQUEST
+    DATA_STATE = DrainState.DATA
+
     def __init__(
         self,
         write_buffer: WriteBuffer,
@@ -43,6 +47,11 @@ class BufferMasterRtl:
         self.sig = signals
         self.bus = bus
         self.engine = engine
+        # Direct references to the per-cycle hot inputs.
+        self._hgrant = signals.hgrant
+        self._hready = bus.hready
+        self._stream_owner = bus.stream_owner
+        self._bus_available = bus.bus_available
         self.state = DrainState.IDLE
         self._txn: Optional[Transaction] = None
         self._beat = 0
@@ -51,9 +60,15 @@ class BufferMasterRtl:
         #: the way live TLM observers see buffer drains.
         self.drained_txns: List[Transaction] = []
         # Same touch discipline as MasterRtl: evaluate() reads only
-        # (hgrant, bus_available) and sequential-phase FSM state.
+        # (hgrant, bus_available) and sequential-phase FSM state, and
+        # the signals matter only while the drain FSM is in REQUEST.
+        requesting = self._requesting
         self._eval = engine.add_combinational(
-            self.evaluate, sensitive_to=(signals.hgrant, bus.bus_available)
+            self.evaluate,
+            sensitive_to=(
+                (signals.hgrant, requesting),
+                (bus.bus_available, requesting),
+            ),
         )
         #: Quiescence handle, bound by the platform builder.  An empty
         #: idle drain engine sleeps until the arbiter absorbs a write
@@ -71,11 +86,14 @@ class BufferMasterRtl:
     def done(self) -> bool:
         return self.state is DrainState.IDLE and self.write_buffer.is_empty
 
+    def _requesting(self) -> bool:
+        return self.state is DrainState.REQUEST
+
     def _drives_address_now(self) -> bool:
         return (
             self.state is DrainState.REQUEST
-            and bool(self.sig.hgrant.value)
-            and bool(self.bus.bus_available.value)
+            and bool(self._hgrant.value)
+            and bool(self._bus_available.value)
         )
 
     # -- combinational ------------------------------------------------------------
@@ -115,8 +133,8 @@ class BufferMasterRtl:
             txn = self._txn
             assert txn is not None
             if (
-                bool(self.bus.hready.value)
-                and self.bus.stream_owner.value == self.index
+                bool(self._hready.value)
+                and self._stream_owner.value == self.index
             ):
                 self._beat += 1
                 if self._beat >= txn.beats:
@@ -157,11 +175,11 @@ class BufferMasterRtl:
             if self.write_buffer.is_empty:
                 self.seq.idle()
         elif state is DrainState.REQUEST:
-            if not (self.sig.hgrant.value and self.bus.bus_available.value):
+            if not (self._hgrant.value and self._bus_available.value):
                 self.seq.idle()
         else:  # DATA
             if not (
-                self.bus.hready.value
-                and self.bus.stream_owner.value == self.index
+                self._hready.value
+                and self._stream_owner.value == self.index
             ):
                 self.seq.idle()

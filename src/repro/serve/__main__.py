@@ -69,7 +69,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     loaded = len(store)
     print(
         f"repro.serve: listening on {host}:{port} "
-        f"(backend={args.backend}, store="
+        f"(backend={server.runner.backend}, store="
         f"{args.store or 'in-memory'}, {loaded} cached records)"
     )
     sys.stdout.flush()
@@ -129,7 +129,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="JSON-lines result store path (default: in-memory only)",
     )
     serve.add_argument(
-        "--backend", choices=("serial", "process"), default="serial"
+        "--backend",
+        choices=("auto", "serial", "process", "batch"),
+        default="auto",
+        help="sweep backend; auto picks batch (lockstep) when numpy "
+        "is available and no pool knob was given",
     )
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument(

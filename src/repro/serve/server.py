@@ -33,6 +33,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError
+from repro.exec.batch import HAVE_NUMPY
 from repro.exec.records import RunRecord, point_key
 from repro.exec.runner import SweepRunner
 from repro.serve.protocol import (
@@ -200,9 +201,16 @@ class SweepServer:
 
     *backend*/*workers*/*timeout*/*repeats* configure the underlying
     :class:`SweepRunner` (``on_error`` is always ``"record"`` — a bad
-    point must produce a failure row, not kill the daemon).  *store*
-    defaults to a fresh in-memory :class:`ResultStore`; hand in a
-    path-backed one to persist results across restarts.
+    point must produce a failure row, not kill the daemon).  The default
+    ``backend="auto"`` resolves to the lockstep ``batch`` backend when
+    numpy is available and no process-pool knob (*workers*/*timeout*)
+    was requested: each coalesced burst of cold points then runs its
+    eligible single-master TLM members through one structure-of-arrays
+    program, with per-point serial fallback for the rest — records stay
+    bit-identical either way, and :meth:`stats` reports which path
+    served each burst.  *store* defaults to a fresh in-memory
+    :class:`ResultStore`; hand in a path-backed one to persist results
+    across restarts.
 
     Usable as a context manager::
 
@@ -214,7 +222,7 @@ class SweepServer:
     def __init__(
         self,
         store: Optional[ResultStore] = None,
-        backend: str = "serial",
+        backend: str = "auto",
         workers: Optional[int] = None,
         timeout: Optional[float] = None,
         repeats: int = 1,
@@ -222,6 +230,13 @@ class SweepServer:
         port: int = 0,
     ) -> None:
         self.store = store if store is not None else ResultStore()
+        if backend == "auto":
+            if workers is not None or timeout is not None:
+                backend = "process"  # pool knobs imply the pool backend
+            elif HAVE_NUMPY:
+                backend = "batch"
+            else:
+                backend = "serial"
         self.runner = SweepRunner(
             backend=backend,
             workers=workers,
@@ -248,7 +263,13 @@ class SweepServer:
             "misses": 0,
             "failure_rows": 0,
             "max_queue_depth": 0,
+            "bursts": 0,
         }
+        #: Aggregate dispatch-label counts ("batch", "serial-fallback",
+        #: "serial", "process") over every executed burst.
+        self._dispatch: Dict[str, int] = {}
+        #: Per-burst dispatch summaries, most recent last (bounded).
+        self._burst_log: List[Dict[str, int]] = []
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -402,6 +423,7 @@ class SweepServer:
                 max_cycles=lambda point: ceilings[id(point)],
                 on_result=finish,
             )
+            self._account_burst(list(self.runner.dispatch_log))
         except Exception as exc:  # infrastructure failure, not a point crash
             for key, pending in batch:
                 if not pending.event.is_set():
@@ -412,6 +434,18 @@ class SweepServer:
                             pending.point, f"{type(exc).__name__}: {exc}"
                         ),
                     )
+
+    def _account_burst(self, dispatch: List[str]) -> None:
+        """Record which backend path served each point of one burst."""
+        summary: Dict[str, int] = {}
+        for label in dispatch:
+            summary[label] = summary.get(label, 0) + 1
+        with self._lock:
+            self._stats["bursts"] += 1
+            for label, count in summary.items():
+                self._dispatch[label] = self._dispatch.get(label, 0) + count
+            self._burst_log.append(summary)
+            del self._burst_log[:-32]  # bounded: last 32 bursts
 
     def _finish(self, key: str, pending: _Pending, record: RunRecord) -> None:
         self.store.put(key, record)  # refuses failure rows itself
@@ -434,6 +468,8 @@ class SweepServer:
         with self._lock:
             stats = dict(self._stats)
             stats["queue_depth"] = len(self._inflight)
+            stats["dispatch"] = dict(self._dispatch)
+            stats["burst_backends"] = [dict(b) for b in self._burst_log]
         hits = stats["hits_store"] + stats["hits_inflight"]
         stats["hits"] = hits
         total = hits + stats["misses"]

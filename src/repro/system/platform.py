@@ -296,42 +296,62 @@ class PlatformBuilder:
         engine.add_signal(
             *all_signals([*master_sigs, buffer_sig], bus, bi, extra=responses)
         )
+        # Filtered wakes (see ``add_sequential``): each predicate masks
+        # edges the sleeping FSM provably ignores in its current state,
+        # and is conservative — a stale read across a same-commit race
+        # can only produce a spurious no-op wake, never a missed one,
+        # because the edge that makes the masked signal relevant again
+        # is itself on the wake list unfiltered.
+        bus_idle = lambda busy=bus.ddr_busy: not busy.value  # noqa: E731
+        bi_pulse = lambda valid=bi.next_valid: bool(valid.value)  # noqa: E731
         arbiter.seq = engine.add_sequential(
             arbiter.update,
             wake_on=(
-                *(sig.hbusreq for sig in master_sigs),
-                buffer_sig.hbusreq,
+                # Requests matter to a sleeping arbiter only on an idle
+                # bus — mid-transfer decisions happen at the scheduled
+                # pipelined-lock wake or on the transfer-boundary edges
+                # below, where the candidates are re-sampled anyway.
+                *((sig.hbusreq, bus_idle) for sig in master_sigs),
+                (buffer_sig.hbusreq, bus_idle),
                 bus.htrans,
                 bus.ddr_busy,
                 # Its own BI pulse: the 0->1 commit wakes the arbiter so
-                # the next cycle's update clears the one-cycle pulse.
-                bi.next_valid,
+                # the next cycle's update clears the one-cycle pulse
+                # (the 1->0 clear edge needs no action).
+                (bi.next_valid, bi_pulse),
             ),
         )
         ddrc.seq = engine.add_sequential(
-            ddrc.update, wake_on=(bus.htrans, bi.next_valid)
+            ddrc.update, wake_on=(bus.htrans, (bi.next_valid, bi_pulse))
         )
         for slave in static_slaves:
             slave.seq = engine.add_sequential(
                 slave.update, wake_on=(bus.htrans,)
             )
+
+        def requesting(m) -> Callable[[], bool]:
+            return lambda: m.state is m.REQUEST_STATE
+
+        def streaming_beats(m) -> Callable[[], bool]:
+            return lambda: m.state is m.DATA_STATE
+
         buffer_master.seq = engine.add_sequential(
             buffer_master.update,
             wake_on=(
-                buffer_sig.hgrant,
-                bus.bus_available,
-                bus.hready,
-                bus.stream_owner,
+                (buffer_sig.hgrant, requesting(buffer_master)),
+                (bus.bus_available, requesting(buffer_master)),
+                (bus.hready, streaming_beats(buffer_master)),
+                (bus.stream_owner, streaming_beats(buffer_master)),
             ),
         )
         for master in masters:
             master.seq = engine.add_sequential(
                 master.update,
                 wake_on=(
-                    master_sigs[master.index].hgrant,
-                    bus.bus_available,
-                    bus.hready,
-                    bus.stream_owner,
+                    (master_sigs[master.index].hgrant, requesting(master)),
+                    (bus.bus_available, requesting(master)),
+                    (bus.hready, streaming_beats(master)),
+                    (bus.stream_owner, streaming_beats(master)),
                 ),
             )
 

@@ -1,0 +1,302 @@
+"""The structure-of-arrays lockstep sweep backend.
+
+The load-bearing guarantee mirrors the process backend's: for any grid,
+``backend="batch"`` returns records *equal* to ``backend="serial"`` —
+same counters, same order, same error rows — with only wall time (which
+record equality excludes) differing.  Eligible single-master TLM points
+run through one numpy program; everything else transparently falls back
+to per-point serial execution, so the guarantee holds grid-wide, not
+just for the fast path.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+import repro.core  # noqa: F401  (anchor package import order)
+from repro.ahb.transaction import Transaction
+from repro.ahb.types import AccessKind
+from repro.core.qos import QosSetting
+from repro.ddr.controller import DdrControllerTlm
+from repro.ddr.timing import DdrTiming
+from repro.errors import ConfigError, MemoryError_
+from repro.exec import HAVE_NUMPY, SweepRunner, batch_precheck
+from repro.exec.batch import BATCHED, FELL_BACK, _decode_segments
+from repro.system import paper_topology, scenario, sweep
+from repro.traffic import single_master_workload
+from repro.traffic.faults import FaultSpec
+from repro.traffic.patterns import TrafficPattern
+from repro.traffic.workloads import MasterSpec, Workload
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="batch backend needs numpy"
+)
+
+
+def _seed_grid(transactions=60, seeds=6):
+    spec = paper_topology(workload=single_master_workload(transactions))
+    return sweep(spec, axis="seed", values=range(seeds))
+
+
+def _rt_workload(transactions=60):
+    pattern = TrafficPattern(
+        name="rt",
+        read_fraction=0.5,
+        burst_mix=((4, 0.5), (8, 0.5)),
+        think_range=(0, 4),
+        base_addr=0,
+        addr_span=1 << 20,
+        period=40,
+        deadline_offset=25,
+    )
+    master = MasterSpec(
+        name="rt0",
+        pattern=pattern,
+        transactions=transactions,
+        qos=QosSetting(real_time=True, objective_cycles=30),
+    )
+    return Workload(name="rt-single", masters=(master,), seed=7)
+
+
+def _check(grid, expect=None, run_kwargs=None, **runner_kwargs):
+    run_kwargs = run_kwargs or {}
+    serial = SweepRunner(backend="serial", **runner_kwargs).run(
+        grid, **run_kwargs
+    )
+    runner = SweepRunner(backend="batch", **runner_kwargs)
+    batch = runner.run(grid, **run_kwargs)
+    assert serial == batch
+    if expect is not None:
+        assert set(runner.dispatch_log) == expect
+    return runner
+
+
+class TestBatchEqualsSerial:
+    def test_seed_axis_grid_is_lockstepped(self):
+        _check(_seed_grid(), expect={BATCHED})
+
+    def test_qos_deadline_grid(self):
+        grid = sweep(
+            paper_topology(workload=_rt_workload()),
+            axis="seed",
+            values=range(6),
+        )
+        _check(grid, expect={BATCHED})
+
+    def test_heterogeneous_axes_stay_eligible(self):
+        spec = paper_topology(workload=single_master_workload(40))
+        grid = (
+            sweep(spec, axis="write_buffer_depth", values=(1, 2, 8))
+            + sweep(spec, axis="arbitration_cycles", values=(0, 1, 3))
+            + sweep(spec, axis="refresh_enabled", values=(False, True))
+            + sweep(
+                spec,
+                axis="ddr_timing",
+                values=(
+                    DdrTiming(),
+                    DdrTiming(num_banks=8, cas_latency=5, t_rcd=5, t_rp=5),
+                ),
+                labels=("base", "8-bank"),
+            )
+        )
+        _check(grid, expect={BATCHED})
+
+    def test_max_cycles_ceiling(self):
+        for ceiling in (900, 3, 1):
+            _check(
+                _seed_grid(seeds=3),
+                expect={BATCHED},
+                run_kwargs={"max_cycles": ceiling},
+            )
+
+    def test_repeats_keep_counters_identical(self):
+        once = SweepRunner(backend="batch").run(_seed_grid(seeds=3))
+        thrice = SweepRunner(backend="batch", repeats=3).run(
+            _seed_grid(seeds=3)
+        )
+        assert once == thrice
+
+
+class TestBatchFallback:
+    def test_multi_master_grid_falls_back(self):
+        grid = sweep(paper_topology(), axis="seed", values=range(2))
+        _check(grid, expect={FELL_BACK})
+
+    def test_faulted_workload_falls_back(self):
+        workload = replace(
+            single_master_workload(30),
+            fault=FaultSpec(seed=11, error_rate=0.2, retry_rate=0.2),
+        )
+        grid = sweep(
+            paper_topology(workload=workload), axis="seed", values=range(3)
+        )
+        _check(grid, expect={FELL_BACK})
+
+    def test_mixed_engine_grid_splits(self):
+        spec = paper_topology(workload=single_master_workload(40))
+        grid = sweep(spec, axis="engine", values=("tlm", "plain"))
+        runner = _check(grid)
+        assert runner.dispatch_log == [BATCHED, FELL_BACK]
+
+    def test_crash_rows_recorded_identically(self):
+        bad_pattern = TrafficPattern(
+            name="bad",
+            read_fraction=1.0,
+            burst_mix=((4, 1.0),),
+            think_range=(0, 0),
+            base_addr=1 << 30,  # far outside the DDR geometry
+            addr_span=1 << 10,
+        )
+        bad = Workload(
+            name="bad-addr",
+            masters=(MasterSpec(name="m0", pattern=bad_pattern, transactions=5),),
+            seed=1,
+        )
+        grid = _seed_grid(transactions=30, seeds=2) + sweep(
+            paper_topology(workload=bad), axis="seed", values=(0,)
+        )
+        serial = SweepRunner(backend="serial", on_error="record").run(grid)
+        runner = SweepRunner(backend="batch", on_error="record")
+        batch = runner.run(grid)
+        assert serial == batch
+        assert batch[-1].error  # the bad point really crashed...
+        assert runner.dispatch_log == [BATCHED, BATCHED, FELL_BACK]
+
+    def test_crash_raises_under_raise_policy(self):
+        bad_pattern = TrafficPattern(
+            name="bad",
+            read_fraction=1.0,
+            burst_mix=((4, 1.0),),
+            think_range=(0, 0),
+            base_addr=1 << 30,
+            addr_span=1 << 10,
+        )
+        bad = Workload(
+            name="bad-addr",
+            masters=(MasterSpec(name="m0", pattern=bad_pattern, transactions=5),),
+            seed=1,
+        )
+        grid = sweep(paper_topology(workload=bad), axis="seed", values=(0,))
+        with pytest.raises(MemoryError_):
+            SweepRunner(backend="serial").run(grid)
+        with pytest.raises(MemoryError_):
+            SweepRunner(backend="batch").run(grid)
+
+    def test_numpy_gate_degrades_to_serial(self, monkeypatch):
+        import repro.exec.batch as batch_mod
+
+        monkeypatch.setattr(batch_mod, "HAVE_NUMPY", False)
+        runner = SweepRunner(backend="batch")
+        records = runner.run(_seed_grid(seeds=2))
+        assert set(runner.dispatch_log) == {FELL_BACK}
+        assert records == SweepRunner(backend="serial").run(_seed_grid(seeds=2))
+
+
+class TestBatchRunnerSurface:
+    def test_precheck_matches_dispatch(self):
+        spec = paper_topology(workload=single_master_workload(30))
+        eligible = sweep(spec, axis="seed", values=(0,))
+        ineligible = sweep(paper_topology(), axis="seed", values=(0,))
+        assert batch_precheck(eligible[0])
+        assert not batch_precheck(ineligible[0])
+        multi_slave = sweep(
+            scenario("multi-slave-soc"), axis="seed", values=(0,)
+        )
+        assert not batch_precheck(multi_slave[0])
+
+    def test_on_result_streams_in_grid_order(self):
+        grid = _seed_grid(seeds=4)
+        seen = []
+        records = SweepRunner(backend="batch").run(
+            grid, on_result=lambda i, r: seen.append((i, r))
+        )
+        assert [i for i, _ in seen] == list(range(len(grid)))
+        assert [r for _, r in seen] == records
+
+    def test_process_only_knobs_rejected(self):
+        from repro.exec import shared_pool
+
+        with pytest.raises(ConfigError):
+            SweepRunner(backend="batch", pool=shared_pool(1))
+        with pytest.raises(ConfigError):
+            SweepRunner(backend="batch", timeout=5.0)
+
+    def test_collect_is_serial_only(self):
+        # Custom collectors need a live platform; the batch backend
+        # must route those points to the serial path, not mis-serve them.
+        grid = _seed_grid(seeds=2)
+        runner = SweepRunner(backend="batch")
+        records = runner.run(
+            grid, collect=lambda point, platform, result: {"probe": 1.0}
+        )
+        assert set(runner.dispatch_log) == {FELL_BACK}
+        assert all(r.metric("probe") == 1.0 for r in records)
+
+
+class TestSegmentDecode:
+    """The arithmetic burst split must match the per-beat reference."""
+
+    def test_random_geometries_match_reference(self):
+        rng = random.Random(1234)
+        checked = 0
+        for _ in range(2000):
+            col_bits = rng.choice([1, 2, 4, 8, 10])
+            num_banks = rng.choice([1, 2, 4, 8])
+            row_bits = rng.choice([2, 4, 8, 13])
+            bus_bytes = rng.choice([1, 2, 4, 8, 16])
+            timing = DdrTiming(
+                num_banks=num_banks, col_bits=col_bits, row_bits=row_bits
+            )
+            ddrc = DdrControllerTlm(timing=timing, bus_bytes=bus_bytes)
+            size = min(rng.choice([1, 2, 4, 8, 16]), bus_bytes)
+            wrapping = rng.random() < 0.4
+            beats = rng.choice([4, 8, 16]) if wrapping else rng.randint(1, 16)
+            span = (1 << timing._row_shift) * bus_bytes * (1 << row_bits)
+            addr = rng.randrange(0, span + 4096)
+            addr -= addr % size
+            try:
+                txn = Transaction(
+                    master=0,
+                    kind=AccessKind.READ,
+                    addr=addr,
+                    beats=beats,
+                    size_bytes=size,
+                    wrapping=wrapping,
+                )
+            except Exception:
+                continue  # illegal burst shape; nothing to compare
+            fast = _decode_segments(txn, timing, bus_bytes)
+            if fast is None:
+                continue  # fast path declined; the slow path serves it
+            reference = [
+                (baddr.bank, baddr.row, len(addrs))
+                for baddr, addrs in ddrc._segments(txn)
+            ]
+            assert fast == reference
+            checked += 1
+        assert checked > 500  # the fast path really covered most draws
+
+    def test_wrap_burst_is_single_segment(self):
+        timing = DdrTiming()
+        txn = Transaction(
+            master=0,
+            kind=AccessKind.READ,
+            addr=0x1010,
+            beats=8,
+            size_bytes=4,
+            wrapping=True,
+        )
+        assert _decode_segments(txn, timing, 4) == [
+            (baddr.bank, baddr.row, len(addrs))
+            for baddr, addrs in DdrControllerTlm(
+                timing=timing, bus_bytes=4
+            )._segments(txn)
+        ]
+
+    def test_out_of_range_address_declines(self):
+        timing = DdrTiming()
+        txn = Transaction(
+            master=0, kind=AccessKind.READ, addr=1 << 40, beats=4, size_bytes=4
+        )
+        assert _decode_segments(txn, timing, 4) is None

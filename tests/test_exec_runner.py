@@ -178,4 +178,4 @@ class TestRunnerKnobs:
             SweepRunner(backend="serial", pool=shared_pool(1))
 
     def test_backends_constant(self):
-        assert BACKENDS == ("serial", "process")
+        assert BACKENDS == ("serial", "process", "batch")

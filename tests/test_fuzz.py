@@ -59,6 +59,23 @@ class TestFuzzerConfig:
         assert set(DEFAULT_CHECKS) < set(CHECKS)
         assert "qos" in CHECKS and "qos" not in DEFAULT_CHECKS
 
+    def test_default_matrix_covers_both_rtl_kernels(self):
+        from repro.fuzz import DEFAULT_ENGINES, ENGINES
+
+        # The campaign must cross-check the event-driven RTL kernel
+        # against tlm/plain *and* its own full-sweep reference.
+        assert "rtl" in DEFAULT_ENGINES and "rtl-full" in DEFAULT_ENGINES
+        assert Fuzzer().engines == DEFAULT_ENGINES
+        assert set(DEFAULT_ENGINES) <= set(ENGINES)
+
+    def test_rtl_full_pseudo_engine_runs(self):
+        # A short campaign on the reference kernel alone: the pseudo
+        # engine elaborates (full_sweep=True) and fuzzes clean.
+        report = Fuzzer(
+            engines=("tlm", "rtl-full"), transactions=(3, 5)
+        ).run(range(3))
+        assert report.clean, report.summary()
+
     def test_validation(self):
         with pytest.raises(ConfigError, match="engine"):
             Fuzzer(engines=())

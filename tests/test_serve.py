@@ -322,6 +322,53 @@ class TestRoutingUnit:
         assert pending.wait().failed
 
 
+class TestBatchRouting:
+    """Eligible coalesced bursts run through the lockstep backend."""
+
+    def test_auto_backend_prefers_batch(self):
+        from repro.exec import HAVE_NUMPY
+
+        server = SweepServer()
+        expected = "batch" if HAVE_NUMPY else "serial"
+        assert server.runner.backend == expected
+
+    def test_eligible_burst_is_lockstepped(self, served):
+        pytest.importorskip("numpy")
+        server, client = served
+        result = client.submit(_grid())
+        assert not any(r.failed for r in result.records)
+        stats = server.stats()
+        assert stats["bursts"] >= 1
+        assert stats["dispatch"].get("batch", 0) == 3
+        # Each burst reports how its points were served.
+        assert sum(b.get("batch", 0) for b in stats["burst_backends"]) == 3
+
+    def test_mixed_burst_reports_fallback(self, served):
+        pytest.importorskip("numpy")
+        server, client = served
+        spec = paper_topology(workload=single_master_workload(15))
+        grid = sweep(spec, axis="engine", values=("tlm", "plain"))
+        client.submit(grid)
+        dispatch = server.stats()["dispatch"]
+        assert dispatch.get("batch", 0) == 1
+        assert dispatch.get("serial-fallback", 0) == 1
+
+    def test_batch_served_records_match_serial(self, served):
+        pytest.importorskip("numpy")
+        _server, client = served
+        grid = _grid()
+        served_records = list(client.submit(grid).records)
+        assert served_records == SweepRunner(backend="serial").run(grid)
+
+    def test_explicit_serial_backend_still_works(self):
+        with SweepServer(backend="serial") as server:
+            client = ServeClient(*server.address)
+            client.submit(_grid(values=(1, 2)))
+            stats = server.stats()
+            assert stats["backend"] == "serial"
+            assert stats["dispatch"] == {"serial": 2}
+
+
 class TestPersistenceAcrossRestart:
     def test_new_server_on_same_store_starts_warm(self, tmp_path):
         path = tmp_path / "results.jsonl"
