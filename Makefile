@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo trace-demo serve-demo fuzz fuzz-long
+.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo trace-demo serve-demo fuzz fuzz-long chaos chaos-long
 
 # Optional bench filter: `make bench MODELS=rtl` measures/gates only
 # the named models (space-separated subset of tlm_method
@@ -54,6 +54,21 @@ FUZZ_COUNT ?= 500
 fuzz-long:
 	$(PYTHON) -m repro.fuzz --start 0 --count $(FUZZ_COUNT) \
 		--transactions 3 20 --out fuzz-repros
+
+# Fixed-seed chaos campaigns against real sweep-server processes:
+# kill -9 mid-batch, torn file tails, dropped connections, poisoned
+# points — exits non-zero if any supervision guarantee (no accepted
+# work lost, nothing simulated twice, bit-identical recovery, no
+# corruption) is violated.  A short smoke of the same harness runs
+# inside tier-1 via tests/test_chaos.py.
+chaos:
+	$(PYTHON) -m repro.fuzz.chaos --start 0 --count 25
+
+# Longer chaos campaign: wider seed range, heavier grids.
+CHAOS_COUNT ?= 100
+chaos-long:
+	$(PYTHON) -m repro.fuzz.chaos --start 0 --count $(CHAOS_COUNT) \
+		--transactions 2000 6000 --points 4
 
 # Small process-backend sweep (serial-vs-process determinism + speedup).
 # Also exercised by the examples smoke test inside tier-1.

@@ -299,10 +299,21 @@ def run_serve_suite(
     since the server routes eligible coalesced bursts through the
     lockstep batch backend — the resolved backend plus which execution
     path served each burst's points.
+
+    Two supervision metrics ride along, recorded rather than gated:
+    the admission-control shed rate over the burst (0.0 unless the
+    queue bound was hit) and a crash-recovery drill — a second server
+    is started on the burst server's store with a journal holding six
+    accepted-but-unfinished points, four of which the store already
+    has.  The drill records how many replayed from the store versus
+    re-ran, the replay hit-rate (4/6 by construction), and the
+    wall-clock cost of draining the recovered backlog.
     """
     import threading
 
-    from repro.serve import ServeClient, SweepServer
+    from repro.exec import point_key
+    from repro.serve import Journal, ServeClient, SweepServer
+    from repro.serve.protocol import point_to_wire
     from repro.system import paper_topology, sweep as sweep_grid
 
     spec = paper_topology(transactions)
@@ -364,6 +375,45 @@ def run_serve_suite(
             )
         stats = server.stats()
 
+    # Admission-control shed rate over the whole run.  At these sizes
+    # nothing sheds; the metric is recorded so a regression that starts
+    # refusing warm work shows up in the trajectory, not as a gate.
+    shed = int(stats.get("shed_submissions") or 0)
+    admitted = int(stats.get("submissions") or 0)
+    shed_rate = shed / (admitted + shed) if admitted + shed else 0.0
+
+    # Recovery drill on a *separate* server so the burst stats above
+    # stay pure: seed a journal with six accepted-but-unfinished points
+    # (the four warm grid points plus two genuinely cold ones) and
+    # start a server on the same store — restart-after-crash in
+    # miniature.  Warm points must replay from the store; cold points
+    # must re-run.
+    cold_grid = sweep_grid(spec, axis="write_buffer_depth", values=(16, 32))
+    recovery_journal = Journal()
+    for point in list(grid) + list(cold_grid):
+        recovery_journal.record_accept(
+            point_key(point.spec, engine=point.engine, max_cycles=None),
+            point_to_wire(point),
+        )
+    start = time.perf_counter()
+    with SweepServer(store=server.store, journal=recovery_journal) as rec:
+        deadline = start + 120.0
+        while len(recovery_journal) or rec.queue_depth():
+            if time.perf_counter() > deadline:
+                raise SimulationError(
+                    "recovery drill did not drain its journal in time"
+                )
+            time.sleep(0.005)
+        recovery_wall = time.perf_counter() - start
+        rec_stats = rec.stats()
+    replayed = int(rec_stats.get("recovery_replayed") or 0)
+    rerun = int(rec_stats.get("recovered_rerun") or 0)
+    if replayed + rerun != len(grid) + len(cold_grid):
+        raise SimulationError(
+            f"recovery drill resolved {replayed + rerun} of "
+            f"{len(grid) + len(cold_grid)} journaled points"
+        )
+
     burst_submissions = clients * submissions_per_client
     return {
         "points": len(grid),
@@ -381,6 +431,11 @@ def run_serve_suite(
         "backend": stats["backend"],
         "dispatch": stats["dispatch"],
         "burst_backends": stats["burst_backends"],
+        "shed_rate": round(shed_rate, 6),
+        "recovery_replayed": replayed,
+        "recovered_rerun": rerun,
+        "recovery_replay_hit_rate": round(replayed / (replayed + rerun), 6),
+        "recovery_wall_seconds": round(recovery_wall, 6),
     }
 
 
@@ -735,5 +790,13 @@ def render_block(block: Dict[str, object], title: str = "speed") -> str:
             lines.append(
                 f"  serve backend {serve['backend']} served {served} "  # type: ignore[index]
                 f"over {len(serve.get('burst_backends', []))} burst(s)"  # type: ignore[union-attr]
+            )
+        if "recovery_replay_hit_rate" in serve:  # type: ignore[operator]
+            lines.append(
+                f"  serve recovery: {serve['recovery_replayed']} replayed "  # type: ignore[index]
+                f"+ {serve['recovered_rerun']} re-run "  # type: ignore[index]
+                f"({serve['recovery_replay_hit_rate']:.1%} replay hits) "  # type: ignore[index]
+                f"in {serve['recovery_wall_seconds']:.3f}s, "  # type: ignore[index]
+                f"shed rate {serve['shed_rate']:.1%}"  # type: ignore[index]
             )
     return "\n".join(lines)

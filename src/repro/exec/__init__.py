@@ -30,6 +30,7 @@ from repro.exec.runner import (
     ON_ERROR,
     Collector,
     OnResult,
+    OnStart,
     SweepRunner,
     default_workers,
     run_grid,
@@ -42,6 +43,7 @@ __all__ = [
     "HAVE_NUMPY",
     "ON_ERROR",
     "OnResult",
+    "OnStart",
     "RunRecord",
     "SweepRunner",
     "batch_precheck",

@@ -654,6 +654,7 @@ def run_batch(
     jobs: Sequence,
     execute_serial: Callable,
     on_result=None,
+    on_start=None,
     dispatch_log: Optional[List[str]] = None,
 ) -> List[RunRecord]:
     """Execute *jobs*, lockstepping the eligible ones.
@@ -664,7 +665,10 @@ def run_batch(
     reference engine raises, or records, the reference error).  Records
     return in grid order; ``on_result`` fires in grid order after the
     batch completes (lockstep has no per-point completion moment until
-    the whole program finishes).  ``dispatch_log``, when given, receives
+    the whole program finishes).  ``on_start`` fires when a point's
+    attempt begins: for lockstepped points that is the program start
+    (they genuinely run together), for fallback points immediately
+    before their serial run.  ``dispatch_log``, when given, receives
     one :data:`BATCHED`/:data:`FELL_BACK` label per job, in grid order.
     """
     extracted: List[_Extracted] = []
@@ -684,6 +688,11 @@ def run_batch(
             order.append((BATCHED, len(extracted)))
             extracted.append(sim)
     batch_records: List[RunRecord] = []
+    if on_start is not None and extracted:
+        # Lockstepped points all start when the shared program does.
+        for grid_index, (kind, _pool_index) in enumerate(order):
+            if kind is BATCHED:
+                on_start(grid_index, jobs[grid_index].point)
     if extracted:
         batch = _Batch(extracted)
         repeats = max(max(sim.job.repeats for sim in extracted), 1)
@@ -704,7 +713,17 @@ def run_batch(
                 best_wall, results = wall, fresh
         assert results is not None and best_wall is not None
         batch_records = _records_from(extracted, results, best_wall)
-    fallback_records = [execute_serial(job) for job in fallback_jobs]
+    fallback_records: List[RunRecord] = []
+    if fallback_jobs:
+        fallback_grid_index = [
+            grid_index
+            for grid_index, (kind, _pool_index) in enumerate(order)
+            if kind is FELL_BACK
+        ]
+        for pool_index, job in enumerate(fallback_jobs):
+            if on_start is not None:
+                on_start(fallback_grid_index[pool_index], job.point)
+            fallback_records.append(execute_serial(job))
     records = [
         batch_records[index] if kind is BATCHED else fallback_records[index]
         for kind, index in order

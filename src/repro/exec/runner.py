@@ -59,6 +59,13 @@ Collector = Callable[[SweepPoint, object, object], Dict[str, object]]
 #: Per-point completion callback: ``(grid_index, record) -> None``.
 OnResult = Callable[[int, RunRecord], None]
 
+#: Per-point dispatch callback: ``(grid_index, point) -> None``, fired
+#: when an execution attempt for the point begins (serial: immediately
+#: before it runs; process: when its job is handed to the pool; batch:
+#: when the lockstep program containing it starts).  The serving layer
+#: journals these as write-ahead ``start`` marks.
+OnStart = Callable[[int, SweepPoint], None]
+
 
 def default_workers(grid_size: Optional[int] = None) -> int:
     """Worker count for the process backend: CPUs, capped by the grid."""
@@ -244,6 +251,7 @@ class SweepRunner:
         collect: Optional[Collector] = None,
         max_cycles: Optional[object] = None,
         on_result: Optional[OnResult] = None,
+        on_start: Optional[OnStart] = None,
     ) -> List[RunRecord]:
         """Run every point of *grid*; records come back in grid order.
 
@@ -262,10 +270,20 @@ class SweepRunner:
         collector it need not be picklable; the sweep server uses it
         to stream per-point progress without polling.  An exception it
         raises propagates and abandons the rest of the sweep.
+
+        ``on_start(index, point)`` fires when an attempt for a point
+        *begins* (see :data:`OnStart` for per-backend timing).  The
+        serving layer journals these as write-ahead ``start`` marks so
+        a crash mid-point is attributable to the point that was
+        running.
         """
         if on_result is not None and not callable(on_result):
             raise ConfigError(
                 f"on_result must be callable, got {type(on_result).__name__}"
+            )
+        if on_start is not None and not callable(on_start):
+            raise ConfigError(
+                f"on_start must be callable, got {type(on_start).__name__}"
             )
         points = list(grid)
         if not points:
@@ -285,7 +303,9 @@ class SweepRunner:
         self.dispatch_log = []
         if self.backend == "serial":
             records: List[RunRecord] = []
-            for job in jobs:
+            for index, job in enumerate(jobs):
+                if on_start is not None:
+                    on_start(index, job.point)
                 record = _execute(job)
                 self.dispatch_log.append("serial")
                 if on_result is not None:
@@ -299,8 +319,14 @@ class SweepRunner:
                 jobs,
                 execute_serial=_execute,
                 on_result=on_result,
+                on_start=on_start,
                 dispatch_log=self.dispatch_log,
             )
+        if on_start is not None:
+            # Pool dispatch ships every job up front; each point's
+            # attempt effectively begins when the map is submitted.
+            for index, job in enumerate(jobs):
+                on_start(index, job.point)
         records = self._run_pool(jobs, on_result)
         self.dispatch_log = ["process"] * len(records)
         return records

@@ -16,8 +16,15 @@ and flags three failure kinds:
 On failure the offered trace is captured (PR 5's trace layer), greedily
 shrunk to a minimal still-failing record list, and archived as a
 JSON-lines repro that ``tests/test_repro_regressions.py`` auto-replays.
+
+A second adversary lives alongside the protocol fuzzer:
+:mod:`repro.fuzz.chaos` (``make chaos``) attacks the *serving* layer —
+``kill -9`` mid-batch, torn file tails, dropped connections, poisoned
+points — and asserts the supervision guarantees (no accepted work
+lost, nothing simulated twice, bit-identical recovery, no corruption).
 """
 
+from repro.fuzz.chaos import ChaosFailure, ChaosHarness, ChaosReport
 from repro.fuzz.fuzzer import (
     CHECKS,
     DEFAULT_CHECKS,
@@ -40,6 +47,9 @@ from repro.fuzz.shrink import shrink_records
 
 __all__ = [
     "CHECKS",
+    "ChaosFailure",
+    "ChaosHarness",
+    "ChaosReport",
     "DEFAULT_CHECKS",
     "DEFAULT_ENGINES",
     "ENGINES",

@@ -1,5 +1,5 @@
-"""Simulation-as-a-service: a persistent sweep server with a
-content-addressed result cache.
+"""Simulation-as-a-service: a supervised, persistent sweep server with
+a content-addressed result cache and write-ahead crash recovery.
 
 Everything needed for serving already existed — ``SystemSpec`` and
 ``Workload`` are JSON-round-trippable and picklable, ``RunRecord``
@@ -10,27 +10,43 @@ that exploits it:
 * :class:`ResultStore` — a content-addressed record store keyed on
   :func:`repro.exec.records.point_key` (the canonical hash of spec +
   workload + seed + engine + cycle ceiling), JSON-lines on disk with an
-  in-memory index.  Failure rows are never cached.
-* :class:`SweepServer` — a thread-pool front end over ``SweepRunner``
-  behind a line-delimited-JSON socket protocol: dedupes submissions
-  against the store and in-flight work, batches cold points of
-  concurrent clients onto one shared grid, and streams per-point
-  results back in grid order via the runner's ``on_result`` hook.
+  in-memory index.  Failure rows are never cached; first write wins,
+  even across concurrent writers.
+* :class:`Journal` — the write-ahead log of *accepted* work: every
+  admitted point is journaled before it is queued and marked off as
+  its result lands, so a server killed mid-batch restarts on the same
+  store+journal and re-runs exactly the unfinished remainder.
+* :class:`SweepServer` — a supervised thread-pool front end over
+  ``SweepRunner`` behind a line-delimited-JSON socket protocol:
+  dedupes submissions against the store and in-flight work, journals
+  accepted points, sheds load past ``max_queue_depth`` with
+  ``overloaded``/``retry_after`` backpressure, drains gracefully on
+  ``SIGTERM``/``drain``, quarantines points that crash repeatedly, and
+  streams per-point results back in grid order via the runner's
+  ``on_result`` hook.
 * :class:`ServeClient` — the Python API (``submit``/``status``/
-  ``ping``/``shutdown``); ``python -m repro.serve`` is the CLI over
-  the same protocol (``serve`` / ``submit`` / ``status``).
+  ``ping``/``drain``/``shutdown``) with exponential-backoff retries
+  (safe: submissions are idempotent by content key);
+  ``python -m repro.serve`` is the CLI over the same protocol.
 
 One host program, same workload, any backend — submit the grid and let
 the service pick cached vs fresh execution::
 
-    with SweepServer(store=ResultStore("results.jsonl")) as server:
+    with SweepServer(store=ResultStore("results.jsonl"),
+                     journal=Journal("journal.jsonl")) as server:
         client = ServeClient(*server.address)
         first = client.submit(grid)    # cold: simulated
         second = client.submit(grid)   # warm: 100% cache hits
         assert second.records == first.records
+
+The guarantees (no accepted work lost across ``kill -9``, no point
+simulated twice, no store/journal corruption, recovered records
+bit-identical to an uninterrupted run) are proven adversarially by the
+chaos harness: :mod:`repro.fuzz.chaos`, ``make chaos``.
 """
 
 from repro.serve.client import OnEvent, ServeClient, SubmitResult
+from repro.serve.journal import Journal
 from repro.serve.protocol import (
     OPS,
     PROTOCOL,
@@ -38,18 +54,26 @@ from repro.serve.protocol import (
     point_from_wire,
     point_to_wire,
 )
-from repro.serve.server import SweepServer
-from repro.serve.store import ResultStore
+from repro.serve.server import (
+    ServerDraining,
+    ServerOverloaded,
+    SweepServer,
+)
+from repro.serve.store import ResultStore, heal_torn_tail
 
 __all__ = [
     "OPS",
     "OnEvent",
     "PROTOCOL",
+    "Journal",
     "ResultStore",
     "ServeClient",
+    "ServerDraining",
+    "ServerOverloaded",
     "SubmitResult",
     "SweepServer",
     "grid_to_wire",
+    "heal_torn_tail",
     "point_from_wire",
     "point_to_wire",
 ]

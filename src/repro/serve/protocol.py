@@ -10,6 +10,7 @@ Requests::
     {"op": "submit", "points": [WIRE_POINT, ...], "max_cycles": N|null}
     {"op": "status"}
     {"op": "ping"}
+    {"op": "drain"}
     {"op": "shutdown"}
 
 where ``WIRE_POINT`` is ``{"label", "axis", "value", "spec", "engine"}``
@@ -22,18 +23,33 @@ in grid order)::
 
     {"event": "accepted", "job": N, "points": K, "protocol": ...}
     {"event": "result", "job": N, "index": I, "key": ...,
-     "cached": true|false, "source": "store"|"inflight"|"run",
+     "cached": true|false,
+     "source": "store"|"inflight"|"run"|"quarantined",
      "record": RECORD_DICT}
     {"event": "done", "job": N, "hits": H, "misses": M}
-    {"event": "status", "stats": {...}, "store": {...}}
+    {"event": "status", "stats": {...}, "store": {...}, "journal": {...}}
     {"event": "pong", "protocol": ...}
+    {"event": "overloaded", "retry_after": SECONDS, "queue_depth": N,
+     "message": ...}
+    {"event": "draining", "message": ...}
     {"event": "bye"}
     {"event": "error", "message": ...}
 
-``source`` distinguishes the two hit kinds: ``"store"`` replayed a
+``source`` distinguishes the hit kinds: ``"store"`` replayed a
 persisted record, ``"inflight"`` attached to a point some other client
 was already running (both count as cache hits — no simulation ran for
-this submission).
+this submission); ``"quarantined"`` is an immediate error row for a
+point parked after repeated crashes (nothing ran, nothing was cached).
+
+``overloaded`` and ``draining`` are *backpressure* responses to
+``submit``: the server refused the whole submission — nothing was
+accepted or journaled — and the client should retry after
+``retry_after`` seconds (``overloaded``) or against the restarted
+server (``draining``).  Both are safe to retry blindly: submissions
+are idempotent by content key.  ``drain`` asks a supervised server to
+stop gracefully — finish in-flight work, keep the queued remainder
+journaled for the next start, refuse new submissions — and is
+acknowledged with a ``draining`` event.
 """
 
 from __future__ import annotations
@@ -44,11 +60,15 @@ from typing import Dict, IO, Iterable, List, Optional
 from repro.errors import ConfigError
 from repro.system.spec import LEVELS, SweepPoint, SystemSpec
 
-#: Protocol identifier sent in ``accepted``/``pong`` events.
-PROTOCOL = "ahbplus-serve-v1"
+#: Protocol identifier sent in ``accepted``/``pong`` events.  v2 added
+#: the supervision surface: ``drain``, ``overloaded``/``draining``
+#: backpressure events, the ``"quarantined"`` result source and the
+#: ``journal`` status block (a v1 client still understands every v2
+#: happy-path event).
+PROTOCOL = "ahbplus-serve-v2"
 
 #: Requests a server understands.
-OPS = ("submit", "status", "ping", "shutdown")
+OPS = ("submit", "status", "ping", "drain", "shutdown")
 
 
 class _WireValue:

@@ -13,6 +13,20 @@ object per line, appended on every insert) with a plain in-memory
 index, so a restarted server re-opens its cache by replaying the file.
 Corrupt trailing lines (a crash mid-append) are tolerated and dropped.
 
+**First write wins — in memory and on disk.**  :meth:`ResultStore.put`
+refuses a key already indexed, and the loader keeps the *first*
+occurrence of a key when replaying the file, so the contract holds
+even when two server processes append to the same path concurrently:
+whichever writer files a key first is authoritative, later duplicates
+are inert lines (determinism makes them equal anyway — nothing is
+lost, the file merely carries a redundant record).  A writer that
+crashes mid-append leaves a torn line *without* a trailing newline;
+before its first append every store (and the write-ahead journal,
+which shares this discipline via :func:`heal_torn_tail`) terminates
+such a tail so a concurrent or later writer's next record starts on a
+fresh line instead of merging into — and corrupting — the torn one.
+Only the torn fragment itself is ever lost.
+
 **Failure rows are never authoritative.**  A record whose
 :attr:`~repro.exec.records.RunRecord.failed` flag is set — a crash or
 timeout row from ``SweepRunner(on_error="record")`` — describes what
@@ -31,6 +45,26 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 from repro.exec.records import RunRecord
+
+
+def heal_torn_tail(path: Path) -> bool:
+    """Terminate a torn trailing line left by a crash mid-append.
+
+    A JSON-lines writer killed between ``write`` and the trailing
+    newline leaves a partial last line; appending straight after it
+    would merge the next (valid) entry into the torn fragment and lose
+    *both*.  This stamps the missing newline so the fragment stays an
+    isolated corrupt line — skipped on load — and every later append
+    starts clean.  Returns whether a heal was needed.
+    """
+    if not path.exists() or path.stat().st_size == 0:
+        return False
+    with path.open("r+b") as handle:
+        handle.seek(-1, 2)
+        if handle.read(1) == b"\n":
+            return False
+        handle.write(b"\n")
+    return True
 
 
 class ResultStore:
@@ -72,14 +106,21 @@ class ResultStore:
                 if record.failed:  # defence against hand-edited stores
                     self.rejected_failures += 1
                     continue
-                self._index[str(key)] = record
+                # First write wins: a concurrent second writer may have
+                # appended a duplicate key; the earliest line is the
+                # authoritative one.
+                self._index.setdefault(str(key), record)
 
     def _append(self, key: str, record: RunRecord) -> None:
         assert self._path is not None
         self._path.parent.mkdir(parents=True, exist_ok=True)
+        # A concurrent holder of this path may have crashed mid-append
+        # at any point; close its torn line before filing after it.
+        heal_torn_tail(self._path)
         entry = {"key": key, "record": record.to_dict()}
         with self._path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(entry) + "\n")
+            handle.flush()
 
     # -- the cache interface ---------------------------------------------------
 

@@ -200,6 +200,15 @@ class TestServeSuite:
         assert sum(sum(b.values()) for b in block["burst_backends"]) == sum(
             dispatch.values()
         )
+        # Supervision metrics ride along, recorded rather than gated:
+        # nothing sheds at this size, and the recovery drill replays the
+        # four warm grid points from the store while re-running its two
+        # cold ones.
+        assert block["shed_rate"] == 0.0
+        assert block["recovery_replayed"] == 4
+        assert block["recovered_rerun"] == 2
+        assert block["recovery_replay_hit_rate"] == pytest.approx(4 / 6)
+        assert block["recovery_wall_seconds"] > 0
 
 
 class TestModelFilter:

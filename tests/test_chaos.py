@@ -1,0 +1,67 @@
+"""Tier-1 smoke of the chaos harness (``make chaos`` in miniature).
+
+Two seeded campaigns against real server subprocesses: each SIGKILLs a
+daemon mid-batch (possibly twice, possibly tearing a file tail in
+between), restarts it on the same store+journal, harasses the survivor
+with dropped connections / poison points / a drain, then asserts the
+supervision guarantees — no accepted work lost, nothing simulated
+twice, recovered records bit-identical to an uninterrupted run, no
+file corruption beyond the injected torn tails.  ``make chaos`` runs
+the same harness over 25 seeds; ``make chaos-long`` over 100 heavier
+ones.
+"""
+
+import pytest
+
+from repro.fuzz import ChaosHarness
+from repro.fuzz.chaos import main as chaos_main
+
+
+class TestChaosSmoke:
+    def test_campaigns_hold_all_guarantees(self):
+        harness = ChaosHarness(transactions=(1200, 2000))
+        report = harness.run(range(2))
+        detail = "\n".join(f.describe() for f in report.failures)
+        assert report.clean, f"chaos guarantees violated:\n{detail}"
+        assert report.campaigns == 2
+        assert report.kills >= 2  # every campaign opens with a SIGKILL
+
+    def test_cli_exit_status_is_the_verdict(self, capsys):
+        exit_code = chaos_main(
+            ["--count", "1", "--transactions", "800", "1200", "--quiet"]
+        )
+        out = capsys.readouterr().out
+        assert exit_code == 0, out
+        assert "all guarantees held" in out
+
+
+class TestHarnessPieces:
+    def test_baseline_is_keyed_like_the_store(self):
+        from repro.exec import point_key
+
+        harness = ChaosHarness()
+        from random import Random
+
+        grid = harness._grid(Random(7))
+        baseline = harness._baseline(grid)
+        for point in grid:
+            key = point_key(point.spec, engine=point.engine, max_cycles=None)
+            assert key in baseline
+            assert not baseline[key].failed
+
+    def test_poison_grid_deterministically_crashes(self):
+        from repro.exec import SweepRunner
+        from repro.fuzz.chaos import POISON_MAX_CYCLES
+
+        grid = ChaosHarness._poison_grid()
+        runner = SweepRunner(backend="serial", on_error="record")
+        first = runner.run(list(grid), max_cycles=POISON_MAX_CYCLES)
+        second = runner.run(list(grid), max_cycles=POISON_MAX_CYCLES)
+        assert all(record.failed for record in first)
+        assert [r.error for r in first] == [r.error for r in second]
+
+    def test_threshold_must_exceed_kill_rounds(self):
+        # The harness's own SIGKILLs count as interrupted starts; a
+        # threshold at or below the kill-round cap (2) would let them
+        # quarantine an innocent point.
+        assert ChaosHarness().quarantine_threshold > 2
