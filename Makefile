@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test smoke bench bench-baseline bench-tables bench-trajectory profile sweep-demo trace-demo serve-demo fuzz fuzz-long chaos chaos-long
+.PHONY: test smoke lint bench bench-baseline bench-tables bench-trajectory profile sweep-demo trace-demo serve-demo fuzz fuzz-long chaos chaos-long
 
 # Optional bench filter: `make bench MODELS=rtl` measures/gates only
 # the named models (space-separated subset of tlm_method
@@ -10,6 +10,16 @@ MODELS ?=
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static contract analysis: NET-* netlist rules over every registered
+# scenario + the fuzz matrix (sensitivity/wake/driver/phase/loop/dead),
+# DET-* determinism rules over src/ (RNG, wall clock, mutable defaults,
+# collector picklability, content-key schemas).  Exit 0 means clean
+# modulo the documented LINT_WAIVERS.  JSON: `make lint LINT_FLAGS=--format=json`.
+# The same run gates tier-1 via tests/test_lint.py.
+LINT_FLAGS ?=
+lint:
+	$(PYTHON) -m repro.lint --scenario all $(LINT_FLAGS)
 
 # Run every script under examples/ to completion (import-and-run guard).
 # The same checks run inside the tier-1 flow via tests/test_examples_smoke.py.

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Mapping, Sequence
+from typing import Dict, Mapping, Sequence
 
 from repro.errors import ConfigError
 
@@ -83,3 +83,44 @@ def stable_hash(value: object, schema: str) -> str:
     text = f"{schema}\n{canonical_json(value)}"
     digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
     return digest[:KEY_HEX_CHARS]
+
+
+#: Every schema tag ever passed to :func:`register_content_schema`,
+#: mapped to the dotted name that owns it.  One tag, one owner: two
+#: modules claiming the same tag would silently share a key namespace
+#: and cache hits could cross payload kinds.
+_SCHEMA_REGISTRY: Dict[str, str] = {}
+
+
+def register_content_schema(tag: str, owner: str) -> str:
+    """Claim *tag* (an ``ahbplus-*`` schema name) for *owner*.
+
+    Returns the tag so registration doubles as the constant definition::
+
+        POINT_KEY_SCHEMA = register_content_schema(
+            "ahbplus-point-v1", "repro.exec.records.point_key"
+        )
+
+    Registering the same tag twice from the same owner is idempotent
+    (module reloads); a second owner raises :class:`ConfigError` at
+    import time.  The lint subsystem (rule ``DET-SCHEMA``) additionally
+    checks statically that every ``ahbplus-*`` literal in ``src/`` goes
+    through this function.
+    """
+    if not tag.startswith("ahbplus-"):
+        raise ConfigError(
+            f"content schema tag {tag!r} must carry the ahbplus- prefix"
+        )
+    existing = _SCHEMA_REGISTRY.get(tag)
+    if existing is not None and existing != owner:
+        raise ConfigError(
+            f"content schema tag {tag!r} already registered by "
+            f"{existing}; {owner} cannot reuse it"
+        )
+    _SCHEMA_REGISTRY[tag] = owner
+    return tag
+
+
+def content_schemas() -> Dict[str, str]:
+    """A copy of the tag -> owner registry (for reports and lint)."""
+    return dict(_SCHEMA_REGISTRY)

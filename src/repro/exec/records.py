@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Tuple
 
-from repro.canonical import stable_hash
+from repro.canonical import register_content_schema, stable_hash
 from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (spec → exec)
@@ -56,8 +56,12 @@ _MISSING = object()
 
 #: Schema tags mixed into the content hashes (bumping one invalidates
 #: every key of that kind at once — the cache invalidation story).
-POINT_KEY_SCHEMA = "ahbplus-point-v1"
-RECORD_KEY_SCHEMA = "ahbplus-record-v1"
+POINT_KEY_SCHEMA = register_content_schema(
+    "ahbplus-point-v1", "repro.exec.records.point_key"
+)
+RECORD_KEY_SCHEMA = register_content_schema(
+    "ahbplus-record-v1", "repro.exec.records.RunRecord"
+)
 
 
 def point_key(

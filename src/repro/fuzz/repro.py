@@ -19,6 +19,7 @@ import json
 from dataclasses import asdict, dataclass
 from typing import List, Tuple
 
+from repro.canonical import register_content_schema
 from repro.core.config import AhbPlusConfig
 from repro.errors import TrafficError
 from repro.fuzz.fuzzer import (
@@ -30,7 +31,9 @@ from repro.fuzz.fuzzer import (
 from repro.traffic.trace import TraceRecord, record_from_payload
 
 #: Format marker of the metadata line; bump on incompatible change.
-REPRO_FORMAT = "ahbplus-fuzz-repro-v1"
+REPRO_FORMAT = register_content_schema(
+    "ahbplus-fuzz-repro-v1", "repro.fuzz.repro.Repro"
+)
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,12 @@ convention (and verified by the RTL equivalence tests):
   the next evaluate phase re-runs the process even though no signal
   changed.
 
+These conventions are also checked *statically*: ``repro.lint``
+(``make lint``) elaborates every registered scenario under a
+read-tracking lint mode and reports contract violations as findings —
+see the "Static analysis" section of the README for the full contract
+table with the rule ID that enforces each obligation.
+
 Sequential quiescence and cycle skip-ahead
 ------------------------------------------
 Sequential processes have the mirror-image discipline:
@@ -94,6 +100,14 @@ SeqProcess = Callable[[], None]
 #: Safety bound on evaluate-phase iterations per cycle.  Real netlists
 #: settle in a handful of passes; hitting the bound means a loop.
 MAX_SETTLE_ITERATIONS = 64
+
+#: Lint-elaboration observer (see :mod:`repro.lint.trace`).  ``None``
+#: outside a lint elaboration: registration pays one ``is not None``
+#: test and the per-cycle hot loops pay nothing at all.  When set, the
+#: observer is told about every process registration (it records the
+#: declared sensitivity/wake contract and wraps ``handle.fn`` so signal
+#: reads can be attributed to the running process).
+_lint_observer = None
 
 
 class CombHandle:
@@ -378,6 +392,8 @@ class CycleEngine:
         else:
             self._has_static_comb = True
             self._settle_live = True
+        if _lint_observer is not None:
+            _lint_observer.combinational(self, handle, process, sensitive_to)
         return handle
 
     def add_sequential(
@@ -431,6 +447,8 @@ class CycleEngine:
                         handle.wake()
 
                 sig.watch(on_change)
+        if _lint_observer is not None:
+            _lint_observer.sequential(self, handle, process, wake_on)
         return handle
 
     def add_signal(self, *signals: Signal) -> None:

@@ -22,6 +22,26 @@ from repro.errors import SimulationError
 
 _UNSET = object()
 
+#: Constructor used for bundle-built signals.  ``repro.lint`` swaps in
+#: a read-tracking subclass for the duration of a lint elaboration;
+#: normal runs never see anything but :class:`Signal`.  The hook is
+#: consulted at *construction time only* — the per-cycle read/write
+#: paths are untouched, so lint support costs the hot path nothing.
+_signal_class: "Optional[type]" = None
+
+
+def make_signal(name: str, width: int = 1, reset: int = 0) -> "Signal":
+    """Build a signal through the lint-elaboration hook.
+
+    Returns a plain :class:`Signal` unless a lint elaboration is in
+    progress (see :mod:`repro.lint.trace`), in which case the traced
+    subclass is instantiated instead.
+    """
+    cls = _signal_class
+    if cls is None:
+        cls = Signal
+    return cls(name, width=width, reset=reset)
+
 
 class Signal:
     """A named, width-checked wire with two-phase update semantics."""
@@ -192,7 +212,7 @@ class SignalBundle:
 
     def make(self, name: str, width: int = 1, reset: int = 0) -> Signal:
         """Create a signal named ``<prefix>.<name>`` and attach it."""
-        sig = Signal(f"{self.prefix}.{name}", width=width, reset=reset)
+        sig = make_signal(f"{self.prefix}.{name}", width=width, reset=reset)
         setattr(self, name, sig)
         return sig
 

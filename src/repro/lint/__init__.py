@@ -1,0 +1,46 @@
+"""repro.lint: static contract analysis for the simulator.
+
+Two layers (see :mod:`repro.lint.findings` for the rule registry):
+
+* **netlist rules** (``NET-*``) prove the sensitivity/quiescence
+  contracts of :mod:`repro.kernel.cycle` on an elaborated RTL system —
+  instead of trusting each component to have declared every read; and
+* **source rules** (``DET-*``) keep the repo deterministic and
+  content-addressable: no wall clocks or global RNG in sim scope, no
+  unpicklable sweep collectors, registered content-key schemas.
+
+Entry points: ``python -m repro.lint`` (or ``make lint``), and
+:func:`run_lint` for programmatic use (tier-1's ``tests/test_lint.py``).
+"""
+
+from repro.lint.ast_rules import run_source_rules
+from repro.lint.findings import RULES, LintFinding, LintReport
+from repro.lint.netlist_rules import run_netlist_rules
+from repro.lint.runner import (
+    LINT_CYCLES,
+    NETLIST_SCENARIOS,
+    lint_fuzz_matrix,
+    lint_netlist,
+    lint_scenario,
+    lint_sources,
+    run_lint,
+)
+from repro.lint.trace import Netlist, ProcInfo, lint_elaboration
+
+__all__ = [
+    "RULES",
+    "LintFinding",
+    "LintReport",
+    "Netlist",
+    "ProcInfo",
+    "LINT_CYCLES",
+    "NETLIST_SCENARIOS",
+    "lint_elaboration",
+    "lint_fuzz_matrix",
+    "lint_netlist",
+    "lint_scenario",
+    "lint_sources",
+    "run_lint",
+    "run_netlist_rules",
+    "run_source_rules",
+]

@@ -1,0 +1,105 @@
+"""CLI: ``python -m repro.lint`` — see ``--help``.
+
+Exit code 0 when every finding is waived or absent, 1 otherwise, so
+``make lint`` and CI gate directly on the process status.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.findings import RULES
+from repro.lint.runner import LINT_CYCLES, NETLIST_SCENARIOS, run_lint
+
+
+def _parse_args(argv: Optional[Sequence[str]]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static contract analysis: netlist sensitivity/wake rules "
+            "over elaborated RTL scenarios plus determinism rules over "
+            "the source tree."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "scenario to elaborate and lint (repeatable); 'all' for the "
+            f"registered set ({', '.join(NETLIST_SCENARIOS)}), 'none' to "
+            "skip netlist rules entirely"
+        ),
+    )
+    parser.add_argument(
+        "--fuzz-seeds",
+        type=int,
+        default=2,
+        metavar="N",
+        help="lint N seeded fuzz-matrix scenarios as well (default: 2)",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=LINT_CYCLES,
+        metavar="N",
+        help=(
+            "dynamic-evidence cycles per scenario (0 = purely static; "
+            f"default: {LINT_CYCLES})"
+        ),
+    )
+    parser.add_argument(
+        "--no-src",
+        action="store_true",
+        help="skip the DET-* source rules",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _parse_args(argv)
+
+    if args.list_rules:
+        for rule, (layer, summary) in RULES.items():
+            print(f"{rule:12s} [{layer}] {summary}")
+        return 0
+
+    scenarios: Optional[List[str]]
+    if args.scenario is None or "all" in args.scenario:
+        scenarios = None
+    elif "none" in args.scenario:
+        scenarios = []
+    else:
+        scenarios = list(args.scenario)
+
+    report = run_lint(
+        scenarios=scenarios,
+        fuzz_seeds=tuple(range(args.fuzz_seeds)),
+        include_sources=not args.no_src,
+        cycles=args.cycles,
+    )
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,143 @@
+"""Structured lint findings and the report that aggregates them.
+
+Every rule reports :class:`LintFinding` rows — rule ID, severity,
+location and a human message — so the CLI can render one uniform text
+or JSON report regardless of which layer (netlist or source AST)
+produced the finding.  Waived findings stay in the report (the waiver
+and its documented reason are part of the contract) but never affect
+the exit code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Tuple
+
+#: Every rule the subsystem implements: ``id -> (layer, summary)``.
+#: The README's contract table references these IDs; keep in sync.
+RULES: Dict[str, Tuple[str, str]] = {
+    "NET-SENS": (
+        "netlist",
+        "combinational process reads a signal absent from sensitive_to",
+    ),
+    "NET-WAKE": (
+        "netlist",
+        "sequential update() reads a signal not covered by the wake contract",
+    ),
+    "NET-MULTI": (
+        "netlist",
+        "signal has more than one combinational driver",
+    ),
+    "NET-PHASE": (
+        "netlist",
+        "drive() from the update phase / drive_next() from the evaluate phase",
+    ),
+    "NET-LOOP": (
+        "netlist",
+        "combinational feedback cycle in the sensitivity graph",
+    ),
+    "NET-DEAD": (
+        "netlist",
+        "signal is driven but never read by anything else",
+    ),
+    "DET-RAND": (
+        "source",
+        "unseeded random-number generator in deterministic scope",
+    ),
+    "DET-TIME": (
+        "source",
+        "wall-clock read in deterministic scope",
+    ),
+    "DET-MUTDEF": (
+        "source",
+        "mutable default argument",
+    ),
+    "DET-PICKLE": (
+        "source",
+        "sweep collector that cannot be pickled by reference",
+    ),
+    "DET-SCHEMA": (
+        "source",
+        "content-key schema tag not registered, duplicated, or on a class "
+        "without to_dict/from_dict",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation (or documented waiver) at one location."""
+
+    rule: str  #: rule ID, a key of :data:`RULES`
+    location: str  #: ``scenario:Component.process`` or ``path:line``
+    message: str  #: what exactly is wrong, naming the signal/construct
+    severity: str = "error"
+    waived: bool = False  #: documented exception — reported, exit-neutral
+    waive_reason: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "rule": self.rule,
+            "severity": self.severity,
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.waived:
+            data["waived"] = True
+            data["waive_reason"] = self.waive_reason
+        return data
+
+    def waive(self, reason: str) -> "LintFinding":
+        return replace(self, waived=True, waive_reason=reason)
+
+
+@dataclass
+class LintReport:
+    """All findings of one lint run, with the exit-code policy."""
+
+    findings: List[LintFinding] = field(default_factory=list)
+
+    def extend(self, findings: List[LintFinding]) -> None:
+        self.findings.extend(findings)
+
+    @property
+    def errors(self) -> List[LintFinding]:
+        """Findings that fail the run (everything not waived)."""
+        return [f for f in self.findings if not f.waived]
+
+    @property
+    def waived(self) -> List[LintFinding]:
+        return [f for f in self.findings if f.waived]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "findings": [f.to_dict() for f in self.findings],
+            "errors": len(self.errors),
+            "waived": len(self.waived),
+            "ok": not self.errors,
+        }
+
+    def render_text(self) -> str:
+        """Human-readable report, one line per finding."""
+        lines: List[str] = []
+        for finding in self.errors:
+            lines.append(
+                f"{finding.rule} {finding.location}: {finding.message}"
+            )
+        for finding in self.waived:
+            lines.append(
+                f"{finding.rule} {finding.location}: {finding.message} "
+                f"[waived: {finding.waive_reason}]"
+            )
+        if self.errors:
+            lines.append(
+                f"{len(self.errors)} finding(s), "
+                f"{len(self.waived)} waived"
+            )
+        else:
+            lines.append(f"clean ({len(self.waived)} waived finding(s))")
+        return "\n".join(lines)

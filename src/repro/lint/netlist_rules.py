@@ -1,0 +1,351 @@
+"""The six NET-* contract rules over an elaborated netlist.
+
+Inputs are the :class:`~repro.lint.trace.Netlist` captured by a lint
+elaboration (declared contracts + optional dynamic traces) and the
+per-process :class:`~repro.lint.astread.StaticTrace`s.  Static evidence
+catches branches no workload executed; dynamic evidence catches reads
+the resolver could not see (exotic indirection).  Both feed the same
+rules.
+
+Waivers: a component class may carry a ``LINT_WAIVERS`` dict mapping
+rule ID to ``{signal-name: reason}``.  Signal names match either the
+full elaborated name (``bus.hwdata``) or the final dotted component
+(``hwdata``).  Waived findings stay in the report with their reason but
+do not fail the run — the waiver is part of the documented contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.kernel.signal import Signal
+from repro.lint.astread import StaticTrace, analyze_process
+from repro.lint.findings import LintFinding
+from repro.lint.trace import Netlist, ProcInfo
+
+
+@dataclass
+class _ProcFacts:
+    """One process with static + dynamic evidence merged."""
+
+    proc: ProcInfo
+    static: StaticTrace
+    location: str
+
+    #: Every signal this process reads (static ∪ dynamic).
+    all_reads: Set[Signal] = field(default_factory=set)
+    #: Every ``(signal, kind)`` drive (static ∪ dynamic).
+    all_drives: Set[Tuple[Signal, str]] = field(default_factory=set)
+
+    @property
+    def driven_signals(self) -> Set[Signal]:
+        return {sig for sig, _kind in self.all_drives}
+
+    def comb_driven(self) -> Set[Signal]:
+        return {sig for sig, kind in self.all_drives if kind == "drive"}
+
+
+def _waiver_reason(
+    proc: ProcInfo, rule: str, sig: Signal
+) -> Optional[str]:
+    component = proc.component
+    if component is None:
+        return None
+    waivers = getattr(type(component), "LINT_WAIVERS", None)
+    if not waivers:
+        return None
+    by_signal = waivers.get(rule)
+    if not by_signal:
+        return None
+    short = sig.name.rsplit(".", 1)[-1]
+    return by_signal.get(sig.name) or by_signal.get(short)
+
+
+def _finding(
+    rule: str, facts_or_proc, sig: Optional[Signal], message: str, location: str
+) -> LintFinding:
+    finding = LintFinding(rule=rule, location=location, message=message)
+    if sig is not None and facts_or_proc is not None:
+        reason = _waiver_reason(facts_or_proc, rule, sig)
+        if reason is not None:
+            finding = finding.waive(reason)
+    return finding
+
+
+def _collect_facts(netlist: Netlist, context: str) -> List[_ProcFacts]:
+    out: List[_ProcFacts] = []
+    for proc in netlist.procs:
+        static = analyze_process(proc.fn)
+        facts = _ProcFacts(
+            proc=proc,
+            static=static,
+            location=f"{context}:{proc.name}",
+        )
+        facts.all_reads = static.read_signals | proc.dyn_reads
+        facts.all_drives = set(static.drives) | proc.dyn_drives
+        out.append(facts)
+    return out
+
+
+# -- NET-SENS ----------------------------------------------------------------
+
+
+def _rule_sens(facts: List[_ProcFacts]) -> List[LintFinding]:
+    """A dynamic-sensitivity comb process must declare every read."""
+    findings: List[LintFinding] = []
+    for f in facts:
+        if f.proc.kind != "comb" or f.proc.static:
+            continue
+        declared = f.proc.declared
+        for sig in sorted(f.all_reads - declared, key=lambda s: s.name):
+            findings.append(
+                _finding(
+                    "NET-SENS",
+                    f.proc,
+                    sig,
+                    f"reads {sig.name} but sensitive_to does not list it; "
+                    "event-driven evaluation will miss its changes",
+                    f.location,
+                )
+            )
+    return findings
+
+
+# -- NET-WAKE ----------------------------------------------------------------
+
+
+def _wake_covered(
+    sig: Signal,
+    guards: FrozenSet[Signal],
+    declared: Set[Signal],
+    self_driven: Set[Signal],
+) -> bool:
+    """Is a static read site acceptable under the quiescence contract?
+
+    Covered when the signal is in the wake list, when the read can only
+    execute while a declared wake signal holds the enabling value (the
+    guard reads a declared signal), or when the process itself drives
+    the signal (its own registered outputs cannot require waking it —
+    the hand-inlined ``if out.x.value != x`` lazy-compare idiom).
+    """
+    if sig in declared or sig in self_driven:
+        return True
+    return bool(guards & declared)
+
+
+def _rule_wake(facts: List[_ProcFacts]) -> List[LintFinding]:
+    """A sequential update() may only read wake-covered signals.
+
+    Purely static: guard sets are not observable dynamically, and an
+    unguarded-looking dynamic read may in fact sit under a state guard.
+    """
+    findings: List[LintFinding] = []
+    for f in facts:
+        if f.proc.kind != "seq":
+            continue
+        declared = f.proc.declared
+        self_driven = f.driven_signals
+        flagged: Set[Signal] = set()
+        for sig, guards in f.static.reads:
+            if sig in flagged:
+                continue
+            if _wake_covered(sig, guards, declared, self_driven):
+                continue
+            flagged.add(sig)
+            findings.append(
+                _finding(
+                    "NET-WAKE",
+                    f.proc,
+                    sig,
+                    f"update() reads {sig.name} without wake_on coverage: "
+                    "not declared, not guarded by a declared signal, not "
+                    "self-driven — the process can sleep through its edges",
+                    f.location,
+                )
+            )
+    return findings
+
+
+# -- NET-MULTI ---------------------------------------------------------------
+
+
+def _rule_multi(facts: List[_ProcFacts], context: str) -> List[LintFinding]:
+    """At most one combinational process may drive() a signal."""
+    drivers: Dict[Signal, List[_ProcFacts]] = {}
+    for f in facts:
+        if f.proc.kind != "comb":
+            continue
+        for sig in f.comb_driven():
+            drivers.setdefault(sig, []).append(f)
+    findings: List[LintFinding] = []
+    for sig, procs in sorted(drivers.items(), key=lambda kv: kv[0].name):
+        if len(procs) <= 1:
+            continue
+        names = ", ".join(sorted(p.proc.name for p in procs))
+        findings.append(
+            _finding(
+                "NET-MULTI",
+                procs[0].proc,
+                sig,
+                f"{sig.name} has {len(procs)} combinational drivers "
+                f"({names}); last-writer-wins order is elaboration luck",
+                f"{context}:{sig.name}",
+            )
+        )
+    return findings
+
+
+# -- NET-PHASE ---------------------------------------------------------------
+
+
+def _rule_phase(facts: List[_ProcFacts]) -> List[LintFinding]:
+    """Comb processes drive(); seq processes drive_next()."""
+    findings: List[LintFinding] = []
+    for f in facts:
+        if f.proc.kind == "comb":
+            bad = {(s, k) for s, k in f.all_drives if k != "drive"}
+            hint = "registered drives from evaluate skew the clock edge"
+        else:
+            bad = {(s, k) for s, k in f.all_drives if k == "drive"}
+            hint = (
+                "combinational drives from update bypass the two-phase "
+                "discipline and race the settle loop"
+            )
+        bad |= f.proc.phase_events
+        for sig, kind in sorted(bad, key=lambda sk: (sk[0].name, sk[1])):
+            findings.append(
+                _finding(
+                    "NET-PHASE",
+                    f.proc,
+                    sig,
+                    f"{f.proc.kind} process calls {sig.name}.{kind}(); {hint}",
+                    f.location,
+                )
+            )
+    return findings
+
+
+# -- NET-LOOP ----------------------------------------------------------------
+
+
+def _rule_loop(facts: List[_ProcFacts], context: str) -> List[LintFinding]:
+    """Static combinational feedback detection.
+
+    Edge ``P1 -> P2`` when P1 combinationally drives a signal P2 is
+    sensitive to.  A cycle means the settle loop can oscillate — the
+    runtime bound (:data:`~repro.kernel.cycle.MAX_SETTLE_ITERATIONS`)
+    would catch it only on a workload that excites the loop.
+    """
+    comb = [f for f in facts if f.proc.kind == "comb"]
+    index = {id(f): i for i, f in enumerate(comb)}
+    edges: Dict[int, Set[int]] = {i: set() for i in range(len(comb))}
+    for i, f in enumerate(comb):
+        driven = f.comb_driven()
+        if not driven:
+            continue
+        for j, g in enumerate(comb):
+            if i == j:
+                continue
+            if driven & g.proc.declared:
+                edges[i].add(j)
+
+    findings: List[LintFinding] = []
+    color = [0] * len(comb)  # 0 white, 1 on-stack, 2 done
+    stack: List[int] = []
+    reported: Set[FrozenSet[int]] = set()
+
+    def visit(i: int) -> None:
+        color[i] = 1
+        stack.append(i)
+        for j in sorted(edges[i]):
+            if color[j] == 0:
+                visit(j)
+            elif color[j] == 1:
+                cycle = stack[stack.index(j):]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    names = " -> ".join(comb[k].proc.name for k in cycle)
+                    findings.append(
+                        _finding(
+                            "NET-LOOP",
+                            None,
+                            None,
+                            f"combinational feedback cycle: {names} -> "
+                            f"{comb[cycle[0]].proc.name}",
+                            f"{context}:{comb[cycle[0]].proc.name}",
+                        )
+                    )
+        stack.pop()
+        color[i] = 2
+
+    for i in range(len(comb)):
+        if color[i] == 0:
+            visit(i)
+    return findings
+
+
+# -- NET-DEAD ----------------------------------------------------------------
+
+
+def _rule_dead(
+    facts: List[_ProcFacts], netlist: Netlist, context: str
+) -> List[LintFinding]:
+    """A driven signal nobody consumes is a modelling leftover.
+
+    Consumers: any process read (static or dynamic) by someone other
+    than the sole driver, membership in any sensitive_to/wake_on list,
+    or a read from outside the processes (monitors, collectors, VCD).
+    """
+    drivers: Dict[Signal, Set[int]] = {}
+    readers: Dict[Signal, Set[int]] = {}
+    for i, f in enumerate(facts):
+        for sig in f.driven_signals:
+            drivers.setdefault(sig, set()).add(i)
+        for sig in f.all_reads:
+            readers.setdefault(sig, set()).add(i)
+    declared_anywhere: Set[Signal] = set()
+    for f in facts:
+        declared_anywhere |= f.proc.declared
+
+    findings: List[LintFinding] = []
+    for sig in netlist.signals:
+        who = drivers.get(sig)
+        if not who:
+            continue
+        if sig in declared_anywhere or sig in netlist.external_reads:
+            continue
+        consumer_procs = readers.get(sig, set()) - (
+            who if len(who) == 1 else set()
+        )
+        if consumer_procs:
+            continue
+        driver = facts[min(who)]
+        findings.append(
+            _finding(
+                "NET-DEAD",
+                driver.proc,
+                sig,
+                f"{sig.name} is driven by {driver.proc.name} but nothing "
+                "reads it, wakes on it, or observes it externally",
+                f"{context}:{sig.name}",
+            )
+        )
+    return findings
+
+
+# -- entry -------------------------------------------------------------------
+
+
+def run_netlist_rules(netlist: Netlist, context: str) -> List[LintFinding]:
+    """Run all NET-* rules over one captured netlist."""
+    facts = _collect_facts(netlist, context)
+    findings: List[LintFinding] = []
+    findings.extend(_rule_sens(facts))
+    findings.extend(_rule_wake(facts))
+    findings.extend(_rule_multi(facts, context))
+    findings.extend(_rule_phase(facts))
+    findings.extend(_rule_loop(facts, context))
+    findings.extend(_rule_dead(facts, netlist, context))
+    return findings

@@ -56,6 +56,18 @@ class _StaticAccess:
 class StaticSlaveRtl:
     """A fixed-latency memory-mapped slave at signal level."""
 
+    #: Documented exceptions to the NET-* contract rules (see
+    #: :mod:`repro.lint.netlist_rules`).
+    LINT_WAIVERS = {
+        "NET-WAKE": {
+            "hwdata": (
+                "write data is sampled mid-burst only; the FSM never "
+                "idles between accepted address phase and final beat, so "
+                "a missed hwdata edge cannot occur while asleep"
+            ),
+        },
+    }
+
     def __init__(
         self,
         name: str,

@@ -57,6 +57,7 @@ from __future__ import annotations
 import json
 from typing import Dict, IO, Iterable, List, Optional
 
+from repro.canonical import register_content_schema
 from repro.errors import ConfigError
 from repro.system.spec import LEVELS, SweepPoint, SystemSpec
 
@@ -65,7 +66,9 @@ from repro.system.spec import LEVELS, SweepPoint, SystemSpec
 #: backpressure events, the ``"quarantined"`` result source and the
 #: ``journal`` status block (a v1 client still understands every v2
 #: happy-path event).
-PROTOCOL = "ahbplus-serve-v2"
+PROTOCOL = register_content_schema(
+    "ahbplus-serve-v2", "repro.serve.protocol"
+)
 
 #: Requests a server understands.
 OPS = ("submit", "status", "ping", "drain", "shutdown")

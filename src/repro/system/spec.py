@@ -22,6 +22,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.ahb.decoder import AddressMap
+from repro.canonical import register_content_schema
 from repro.core.config import AhbPlusConfig
 from repro.errors import ConfigError
 from repro.traffic.faults import FaultSpec
@@ -137,6 +138,13 @@ class BusSpec:
         )
 
 
+#: Schema tag of :meth:`SystemSpec.content_key` payloads; bump on
+#: incompatible ``to_dict`` change to invalidate every cached key.
+SYSTEM_KEY_SCHEMA = register_content_schema(
+    "ahbplus-system-v1", "repro.system.spec.SystemSpec"
+)
+
+
 @dataclass(frozen=True)
 class SystemSpec:
     """A complete platform description.
@@ -242,7 +250,7 @@ class SystemSpec:
         """
         from repro.canonical import stable_hash
 
-        return stable_hash(self.to_dict(), "ahbplus-system-v1")
+        return stable_hash(self.to_dict(), SYSTEM_KEY_SCHEMA)
 
     # -- serialisation --------------------------------------------------------
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ahb.master import TlmMaster
+from repro.canonical import register_content_schema
 from repro.ahb.transaction import WRITE_BUFFER_MASTER
 from repro.core.qos import QosSetting
 from repro.errors import TrafficError
@@ -76,6 +77,13 @@ class MasterSpec:
             transactions=int(data["transactions"]),
             qos=QosSetting.from_dict(data.get("qos", {})),
         )
+
+
+#: Schema tag of :meth:`Workload.content_key` payloads; bump on
+#: incompatible ``to_dict`` change to invalidate every cached key.
+WORKLOAD_KEY_SCHEMA = register_content_schema(
+    "ahbplus-workload-v1", "repro.traffic.workloads.Workload"
+)
 
 
 @dataclass(frozen=True)
@@ -242,7 +250,7 @@ class Workload:
         """
         from repro.canonical import stable_hash
 
-        return stable_hash(self.to_dict(), "ahbplus-workload-v1")
+        return stable_hash(self.to_dict(), WORKLOAD_KEY_SCHEMA)
 
     def to_dict(self) -> dict:
         """JSON-ready mapping of the full scenario description."""

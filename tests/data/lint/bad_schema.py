@@ -1,0 +1,19 @@
+"""Seeded DET-SCHEMA violations: unregistered tags, missing round-trip."""
+
+from repro.canonical import stable_hash
+
+MY_SCHEMA = "ahbplus-rogue-v1"  # bare constant, never registered
+
+
+def key_of(payload: dict) -> str:
+    return stable_hash(payload, "ahbplus-inline-v1")  # literal tag
+
+
+class KeyedThing:
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def content_key(self) -> str:
+        return stable_hash({"name": self.name}, MY_SCHEMA)
+
+    # no to_dict / from_dict: the key cannot round-trip

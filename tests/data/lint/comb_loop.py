@@ -1,0 +1,34 @@
+"""Seeded NET-LOOP violation: combinational feedback between two procs.
+
+``forward`` drives ``b`` from ``a`` and ``backward`` drives ``a`` from
+``b``; the settle loop would oscillate until the iteration bound trips.
+The lint rule finds the cycle in the sensitivity graph without running
+a single evaluate pass.
+"""
+
+from repro.kernel.cycle import CycleEngine
+from repro.kernel.signal import make_signal
+
+
+class Feedback:
+    def __init__(self) -> None:
+        self.a = make_signal("fix.a", width=8)
+        self.b = make_signal("fix.b", width=8)
+
+    def forward(self) -> None:
+        self.b.drive((self.a.value + 1) & 0xFF)
+
+    def backward(self) -> None:
+        self.a.drive((self.b.value + 1) & 0xFF)
+
+    def update(self) -> None:
+        _ = self.a.value
+
+
+def build() -> CycleEngine:
+    engine = CycleEngine(name="fixture:comb-loop")
+    comp = Feedback()
+    engine.add_combinational(comp.forward, sensitive_to=[comp.a])
+    engine.add_combinational(comp.backward, sensitive_to=[comp.b])
+    engine.add_sequential(comp.update, wake_on=[comp.a, comp.b])
+    return engine

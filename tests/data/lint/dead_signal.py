@@ -1,0 +1,38 @@
+"""Seeded NET-DEAD violation: a driven signal nobody consumes.
+
+``debug_tap`` is faithfully driven every cycle but appears in no
+sensitivity list, no wake list, and no external observer — a modelling
+leftover that costs commits for nothing.
+"""
+
+from repro.kernel.cycle import CycleEngine
+from repro.kernel.signal import make_signal
+
+
+class Producer:
+    def __init__(self) -> None:
+        self.inp = make_signal("fix.inp", width=8)
+        self.out = make_signal("fix.out", width=8)
+        self.debug_tap = make_signal("fix.debug_tap", width=8)
+
+    def update(self) -> None:
+        value = self.inp.value
+        self.out.drive_next(value)
+        self.debug_tap.drive_next(value ^ 0xFF)  # nobody reads this
+
+
+class Sink:
+    def __init__(self, producer: Producer) -> None:
+        self.producer = producer
+
+    def update(self) -> None:
+        _ = self.producer.out.value
+
+
+def build() -> CycleEngine:
+    engine = CycleEngine(name="fixture:dead-signal")
+    producer = Producer()
+    sink = Sink(producer)
+    engine.add_sequential(producer.update, wake_on=[producer.inp])
+    engine.add_sequential(sink.update, wake_on=[producer.out])
+    return engine

@@ -1,0 +1,12 @@
+"""Seeded DET-PICKLE violations: collectors the pool cannot pickle."""
+
+
+def sweep_with_lambda(runner, grid):
+    return runner.run(grid, collect=lambda point, platform, result: {})
+
+
+def sweep_with_nested(runner, grid):
+    def gather(point, platform, result):
+        return {"cycles": result.cycles}
+
+    return runner.run(grid, collect=gather)

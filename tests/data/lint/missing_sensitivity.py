@@ -1,0 +1,43 @@
+"""Seeded NET-SENS violation: a comb process with an incomplete list.
+
+``Adder.evaluate`` reads both operands but only declares ``a`` —
+event-driven evaluation would miss every change that arrives on ``b``.
+"""
+
+from repro.kernel.cycle import CycleEngine
+from repro.kernel.signal import make_signal
+
+
+class Adder:
+    def __init__(self) -> None:
+        self.a = make_signal("fix.a", width=8)
+        self.b = make_signal("fix.b", width=8)
+        self.out = make_signal("fix.out", width=8)
+
+    def evaluate(self) -> None:
+        self.out.drive((self.a.value + self.b.value) & 0xFF)
+
+
+class Consumer:
+    def __init__(self, adder: Adder) -> None:
+        self.adder = adder
+        self.copy = make_signal("fix.copy", width=8)
+
+    def evaluate(self) -> None:
+        self.copy.drive(self.adder.out.value)
+
+    def update(self) -> None:
+        pass
+
+
+def build() -> CycleEngine:
+    engine = CycleEngine(name="fixture:missing-sensitivity")
+    adder = Adder()
+    consumer = Consumer(adder)
+    engine.add_combinational(adder.evaluate, sensitive_to=[adder.a])  # b missing
+    engine.add_combinational(
+        consumer.evaluate, sensitive_to=[adder.out]
+    )
+    # the copy output is observed by the harness, not the netlist
+    engine.add_sequential(consumer.update, wake_on=[consumer.copy])
+    return engine

@@ -1,0 +1,32 @@
+"""Seeded NET-MULTI violation: two comb processes drive one signal.
+
+Whichever evaluates last wins — an elaboration-order accident, not a
+modelled priority.
+"""
+
+from repro.kernel.cycle import CycleEngine
+from repro.kernel.signal import make_signal
+
+
+class Contenders:
+    def __init__(self) -> None:
+        self.sel = make_signal("fix.sel", width=1)
+        self.shared = make_signal("fix.shared", width=8)
+
+    def driver_a(self) -> None:
+        self.shared.drive(0x11 if self.sel.value else 0x22)
+
+    def driver_b(self) -> None:
+        self.shared.drive(0x33)
+
+    def update(self) -> None:
+        _ = self.shared.value
+
+
+def build() -> CycleEngine:
+    engine = CycleEngine(name="fixture:multi-driver")
+    comp = Contenders()
+    engine.add_combinational(comp.driver_a, sensitive_to=[comp.sel])
+    engine.add_combinational(comp.driver_b, sensitive_to=[comp.sel])
+    engine.add_sequential(comp.update, wake_on=[comp.shared])
+    return engine

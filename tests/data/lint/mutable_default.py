@@ -1,0 +1,6 @@
+"""Seeded DET-MUTDEF violation: a list default shared across calls."""
+
+
+def accumulate(item: int, into: list = []) -> list:
+    into.append(item)
+    return into

@@ -1,0 +1,94 @@
+"""Acceptance fixture: a scratch BusMux copy missing one sens entry.
+
+This is a line-for-line copy of ``repro.rtl.mux.BusMux``'s address path
+with exactly one edit: ``bundle.hfault`` deleted from the sensitivity
+list, while ``evaluate_address`` still reads ``driver.hfault.value``.
+The analyzer must catch the deletion purely statically — no workload,
+zero cycles — which is the "prove the contract instead of trusting it"
+acceptance bar of the lint subsystem.
+"""
+
+from typing import List
+
+from repro.ahb.types import HTrans
+from repro.kernel.cycle import CycleEngine
+from repro.rtl.signals import NO_OWNER, MasterSignals, SharedBusSignals
+
+
+class ScratchBusMux:
+    """BusMux address path with hfault dropped from sensitive_to."""
+
+    def __init__(
+        self,
+        master_signals: List[MasterSignals],
+        bus: SharedBusSignals,
+        engine: CycleEngine,
+    ) -> None:
+        self.master_signals = master_signals
+        self.bus = bus
+        addr_sens = []
+        for bundle in master_signals:
+            addr_sens.extend(
+                (
+                    bundle.htrans,
+                    bundle.haddr,
+                    bundle.hwrite,
+                    bundle.hburst,
+                    bundle.hlen,
+                    bundle.hsize,
+                    # bundle.hfault deliberately missing
+                )
+            )
+        engine.add_combinational(self.evaluate_address, sensitive_to=addr_sens)
+
+    def evaluate_address(self) -> None:
+        driver = None
+        for bundle in self.master_signals:
+            if bundle.htrans.value == int(HTrans.NONSEQ):
+                driver = bundle
+                break
+        if driver is not None:
+            self.bus.htrans.drive(int(HTrans.NONSEQ))
+            self.bus.haddr.drive(driver.haddr.value)
+            self.bus.hwrite.drive(driver.hwrite.value)
+            self.bus.hburst.drive(driver.hburst.value)
+            self.bus.hlen.drive(driver.hlen.value)
+            self.bus.hsize.drive(driver.hsize.value)
+            self.bus.hfault.drive(driver.hfault.value)
+            self.bus.addr_owner.drive(driver.index)
+        else:
+            self.bus.htrans.drive(int(HTrans.IDLE))
+            self.bus.hfault.drive(0)
+            self.bus.addr_owner.drive(NO_OWNER)
+
+
+class BusProbe:
+    """Declares the mux outputs so the fixture stays NET-DEAD-clean."""
+
+    def __init__(self, bus: SharedBusSignals) -> None:
+        self.bus = bus
+
+    def update(self) -> None:
+        _ = self.bus.htrans.value
+
+
+def build() -> CycleEngine:
+    engine = CycleEngine(name="fixture:mux-missing-hfault")
+    masters = [MasterSignals(0), MasterSignals(1)]
+    bus = SharedBusSignals()
+    mux = ScratchBusMux(masters, bus, engine)
+    probe = BusProbe(bus)
+    engine.add_sequential(
+        probe.update,
+        wake_on=[
+            bus.htrans,
+            bus.haddr,
+            bus.hwrite,
+            bus.hburst,
+            bus.hlen,
+            bus.hsize,
+            bus.hfault,
+            bus.addr_owner,
+        ],
+    )
+    return engine

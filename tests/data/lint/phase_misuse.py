@@ -1,0 +1,38 @@
+"""Seeded NET-PHASE violations: drives from the wrong phase.
+
+``bad_comb`` issues a registered drive from the evaluate phase (the
+value skews a clock edge late and dodges the settle loop);
+``bad_seq`` issues a combinational drive from the update phase
+(bypassing two-phase semantics entirely).
+"""
+
+from repro.kernel.cycle import CycleEngine
+from repro.kernel.signal import make_signal
+
+
+class PhaseMixer:
+    def __init__(self) -> None:
+        self.inp = make_signal("fix.inp", width=8)
+        self.reg_out = make_signal("fix.reg_out", width=8)
+        self.comb_out = make_signal("fix.comb_out", width=8)
+
+    def bad_comb(self) -> None:
+        self.reg_out.drive_next(self.inp.value)  # registered drive in evaluate
+
+    def bad_seq(self) -> None:
+        self.comb_out.drive(self.inp.value)  # combinational drive in update
+
+    def update(self) -> None:
+        _ = self.reg_out.value
+        _ = self.comb_out.value
+
+
+def build() -> CycleEngine:
+    engine = CycleEngine(name="fixture:phase-misuse")
+    comp = PhaseMixer()
+    engine.add_combinational(comp.bad_comb, sensitive_to=[comp.inp])
+    engine.add_sequential(comp.bad_seq, wake_on=[comp.inp])
+    engine.add_sequential(
+        comp.update, wake_on=[comp.reg_out, comp.comb_out]
+    )
+    return engine

@@ -1,0 +1,39 @@
+"""Seeded NET-WAKE violation: update() reads outside its wake contract.
+
+``Counter.update`` samples ``enable`` unguarded, but ``wake_on`` only
+lists ``load`` — an idle handle would sleep straight through enable
+edges, diverging from the full-sweep reference.
+"""
+
+from repro.kernel.cycle import CycleEngine
+from repro.kernel.signal import make_signal
+
+
+class Counter:
+    def __init__(self) -> None:
+        self.load = make_signal("fix.load", width=1)
+        self.enable = make_signal("fix.enable", width=1)
+        self.count = make_signal("fix.count", width=8)
+        self.value = 0
+
+    def update(self) -> None:
+        if self.enable.value:  # read not covered by wake_on
+            self.value = (self.value + 1) & 0xFF
+        self.count.drive_next(self.value)
+
+
+class Watcher:
+    def __init__(self, counter: Counter) -> None:
+        self.counter = counter
+
+    def update(self) -> None:
+        _ = self.counter.count.value
+
+
+def build() -> CycleEngine:
+    engine = CycleEngine(name="fixture:seq-wake-gap")
+    counter = Counter()
+    watcher = Watcher(counter)
+    engine.add_sequential(counter.update, wake_on=[counter.load])
+    engine.add_sequential(watcher.update, wake_on=[counter.count])
+    return engine

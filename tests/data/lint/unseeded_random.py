@@ -1,0 +1,11 @@
+"""Seeded DET-RAND violations: module-global RNG use in sim scope."""
+
+import random
+
+
+def jitter_delay() -> float:
+    return random.uniform(0.0, 1.0)  # shared module-global RNG
+
+
+def make_rng():
+    return random.Random()  # unseeded: draws OS entropy

@@ -1,0 +1,12 @@
+"""Seeded DET-TIME violations: wall-clock reads in sim scope."""
+
+import time
+from datetime import datetime
+
+
+def stamp() -> float:
+    return time.time()  # wall clock
+
+
+def label() -> str:
+    return datetime.now().isoformat()  # wall clock

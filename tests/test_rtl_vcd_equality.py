@@ -48,6 +48,14 @@ SCENARIO_CASES = [
     ("mpeg-bursty", {"transactions": 40}),
     ("multi-slave-soc", {"transactions": 40}),
     ("trace-replay", {}),
+    # Pin the NET-WAKE hwdata waivers (see LINT_WAIVERS on DdrcRtl and
+    # StaticSlaveRtl): write bursts sample bus.hwdata mid-stream without
+    # a wake_on entry, on the claim that the FSMs never idle between
+    # accepted address phase and final beat.  Write-heavy traffic
+    # through the DDRC and the scratchpad slave must stay VCD-identical
+    # to the full sweep, or the waiver claim is wrong.
+    ("write-heavy", {"transactions": 40}),
+    ("scratchpad-offload", {"transactions": 40}),
 ]
 
 
